@@ -1,0 +1,56 @@
+// Ablation: the PDM-style DHP pair-hash filter (paper refs [12], [15])
+// against plain Apriori candidate generation. The filter spends extra
+// pass-1 work (hashing every transaction pair) and one extra reduction to
+// shrink C_2 — the pass whose candidate count dwarfs all others (Table II:
+// 351K of the paper's candidates are pass-2). Reports C_2, total leaf
+// visits, and modeled CD time per bucket-count setting.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace pam;
+  bench::Banner("DHP pair-hash filter ablation",
+                "PDM (paper ref [12]) = CD + DHP [15]; effect on C_2");
+
+  const int p = 8;
+  TransactionDatabase db =
+      GenerateQuest(bench::PaperWorkload(bench::ScaledN(8000)));
+  const CostModel model(MachineModel::CrayT3E());
+
+  std::printf("P = %d, N = %zu, 0.75%% minimum support\n\n", p, db.size());
+  std::printf("%12s %12s %14s %14s %12s\n", "buckets", "|C_2|",
+              "leaf visits", "checks", "CD T3E (s)");
+
+  for (std::size_t buckets :
+       {std::size_t{0}, std::size_t{1} << 10, std::size_t{1} << 14,
+        std::size_t{1} << 18, std::size_t{1} << 22}) {
+    ParallelConfig cfg;
+    cfg.apriori.minsup_fraction = 0.0075;
+    cfg.apriori.tree = bench::BenchTreeConfig();
+    cfg.apriori.dhp_buckets = buckets;
+    ParallelResult result = MineParallel(Algorithm::kCD, db, p, cfg);
+
+    std::size_t c2 = 0;
+    std::uint64_t visits = 0;
+    std::uint64_t checks = 0;
+    for (int pass = 1; pass < result.metrics.num_passes(); ++pass) {
+      const auto& row =
+          result.metrics.per_pass[static_cast<std::size_t>(pass)];
+      if (row[0].k == 2) c2 = row[0].num_candidates_global;
+      const SubsetStats stats = result.metrics.PassSubsetStats(pass);
+      visits += stats.distinct_leaf_visits;
+      checks += stats.leaf_candidates_checked;
+    }
+    std::printf("%12zu %12zu %14llu %14llu %12.3f\n", buckets, c2,
+                static_cast<unsigned long long>(visits),
+                static_cast<unsigned long long>(checks),
+                model.RunTime(Algorithm::kCD, result.metrics));
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nShape check: C_2 shrinks monotonically with bucket count; "
+      "frequent itemsets are identical\n(asserted by dhp_filter_test).\n");
+  return 0;
+}

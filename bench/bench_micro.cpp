@@ -1,0 +1,201 @@
+// Micro benchmarks (google-benchmark) for the core data structures: hash
+// tree construction and subset counting, apriori_gen, the synthetic data
+// generator, bin packing, and the message-passing ring shift.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "pam/core/apriori_gen.h"
+#include "pam/core/candidate_partition.h"
+#include "pam/datagen/quest_gen.h"
+#include "pam/hashtree/hash_tree.h"
+#include "pam/mp/runtime.h"
+#include "pam/parallel/common.h"
+#include "pam/sim/network_sim.h"
+#include "pam/tdb/page_buffer.h"
+#include "pam/util/prng.h"
+
+namespace {
+
+using namespace pam;
+
+TransactionDatabase BenchDb(std::size_t n) {
+  QuestConfig q;
+  q.num_transactions = n;
+  q.num_items = 500;
+  q.avg_transaction_len = 12;
+  q.avg_pattern_len = 4;
+  q.num_patterns = 150;
+  q.seed = 7;
+  return GenerateQuest(q);
+}
+
+// C_2 candidate set of roughly the requested size.
+ItemsetCollection BenchCandidates(const TransactionDatabase& db,
+                                  std::size_t target) {
+  std::vector<Count> counts = CountItems(db, {0, db.size()});
+  // Binary-search a minsup that yields >= target candidates.
+  Count lo = 1;
+  Count hi = db.size();
+  ItemsetCollection best(2);
+  while (lo < hi) {
+    const Count mid = lo + (hi - lo) / 2;
+    ItemsetCollection f1 = MakeF1(counts, mid);
+    ItemsetCollection c2 = AprioriGen(f1);
+    if (c2.size() >= target) {
+      best = std::move(c2);
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (best.empty()) {
+    ItemsetCollection f1 = MakeF1(counts, 1);
+    best = AprioriGen(f1);
+  }
+  return best;
+}
+
+void BM_HashTreeBuild(benchmark::State& state) {
+  TransactionDatabase db = BenchDb(2000);
+  ItemsetCollection candidates =
+      BenchCandidates(db, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    HashTree tree(candidates, HashTreeConfig{8, 16});
+    benchmark::DoNotOptimize(tree.num_leaves());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(candidates.size()));
+}
+BENCHMARK(BM_HashTreeBuild)->Arg(1000)->Arg(10000);
+
+void BM_SubsetCounting(benchmark::State& state) {
+  TransactionDatabase db = BenchDb(2000);
+  ItemsetCollection candidates =
+      BenchCandidates(db, static_cast<std::size_t>(state.range(0)));
+  HashTree tree(candidates, HashTreeConfig{8, 16});
+  std::vector<Count> counts(candidates.size(), 0);
+  std::size_t t = 0;
+  for (auto _ : state) {
+    tree.Subset(db.Transaction(t), std::span<Count>(counts), nullptr);
+    t = (t + 1) % db.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SubsetCounting)->Arg(1000)->Arg(10000);
+
+void BM_SubsetCountingWithBitmap(benchmark::State& state) {
+  TransactionDatabase db = BenchDb(2000);
+  ItemsetCollection candidates = BenchCandidates(db, 10000);
+  CandidatePartition partition = PartitionByPrefix(
+      candidates, db.NumItems(), 8, PrefixStrategy::kBinPacked);
+  HashTree tree(candidates, partition.ids_per_part[0], HashTreeConfig{8, 16});
+  std::vector<Count> counts(candidates.size(), 0);
+  std::size_t t = 0;
+  for (auto _ : state) {
+    tree.Subset(db.Transaction(t), std::span<Count>(counts), nullptr,
+                &partition.first_item_filter[0]);
+    t = (t + 1) % db.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SubsetCountingWithBitmap);
+
+void BM_AprioriGen(benchmark::State& state) {
+  TransactionDatabase db = BenchDb(2000);
+  std::vector<Count> counts = CountItems(db, {0, db.size()});
+  ItemsetCollection f1 = MakeF1(counts, static_cast<Count>(state.range(0)));
+  for (auto _ : state) {
+    ItemsetCollection c2 = AprioriGen(f1);
+    benchmark::DoNotOptimize(c2.size());
+  }
+}
+BENCHMARK(BM_AprioriGen)->Arg(20)->Arg(5);
+
+void BM_QuestGenerate(benchmark::State& state) {
+  for (auto _ : state) {
+    QuestConfig q;
+    q.num_transactions = static_cast<std::size_t>(state.range(0));
+    q.seed = 3;
+    TransactionDatabase db = GenerateQuest(q);
+    benchmark::DoNotOptimize(db.TotalItems());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_QuestGenerate)->Arg(1000)->Arg(10000);
+
+void BM_BinPacking(benchmark::State& state) {
+  Prng rng(5);
+  std::vector<std::uint64_t> weights(
+      static_cast<std::size_t>(state.range(0)));
+  for (auto& w : weights) w = 1 + rng.NextBounded(1000);
+  for (auto _ : state) {
+    BinPackingResult r = PackBins(weights, 64);
+    benchmark::DoNotOptimize(r.bin_weight[0]);
+  }
+}
+BENCHMARK(BM_BinPacking)->Arg(1000)->Arg(100000);
+
+void BM_RingShift(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  TransactionDatabase db = BenchDb(400);
+  for (auto _ : state) {
+    Runtime rt(p);
+    std::atomic<std::uint64_t> total{0};
+    rt.Run([&db, &total](Comm& comm) {
+      const auto slice = db.RankSlice(comm.rank(), comm.size());
+      const std::vector<Page> pages = Paginate(db, slice, 4096);
+      std::uint64_t local = 0;
+      parallel_internal::RingShiftAll(
+          comm, pages,
+          [&local](const Page& page) { local += page.size(); }, nullptr);
+      total += local;
+    });
+    benchmark::DoNotOptimize(total.load());
+  }
+}
+BENCHMARK(BM_RingShift)->Arg(2)->Arg(8);
+
+void BM_AllReduce(benchmark::State& state) {
+  const int p = 8;
+  const std::size_t words = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Runtime rt(p);
+    rt.Run([words](Comm& comm) {
+      std::vector<std::uint64_t> data(words, 1);
+      comm.AllReduceSum(std::span<std::uint64_t>(data));
+    });
+  }
+}
+BENCHMARK(BM_AllReduce)->Arg(1024)->Arg(65536);
+
+void BM_NetworkSimAllToAll(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  NetworkSimulator sim(p, Topology::kTorus3D, 300e6, 16e-6);
+  const auto messages = NetworkSimulator::AllToAll(p, 16 * 1024);
+  for (auto _ : state) {
+    SimResult r = sim.Run(messages);
+    benchmark::DoNotOptimize(r.makespan);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(messages.size()));
+}
+BENCHMARK(BM_NetworkSimAllToAll)->Arg(16)->Arg(64);
+
+void BM_PairBucketCounting(benchmark::State& state) {
+  TransactionDatabase db = BenchDb(1000);
+  for (auto _ : state) {
+    std::vector<Count> buckets =
+        CountPairBuckets(db, {0, db.size()}, 1 << 16);
+    benchmark::DoNotOptimize(buckets[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(db.size()));
+}
+BENCHMARK(BM_PairBucketCounting);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Derives the cost model's DD contention multiplier from first
+// principles: simulates DD's unstructured all-to-all page scatter and
+// IDD's ring pipeline on the T3E-like 3D torus (one transfer per node at
+// a time, dimension-order routing) and reports the makespan relative to
+// the one-port lower bound. The paper's Section III-B argues exactly
+// this: "on such machines, this communication pattern will take
+// significantly more than O(N) time because of contention within the
+// network", while the ring-based shift of Figure 6 "does not suffer from
+// the contention problems".
+
+#include <cstdio>
+
+#include "pam/sim/network_sim.h"
+
+int main() {
+  using namespace pam;
+  std::printf("=== Network contention: DD all-to-all vs IDD ring ===\n");
+  std::printf("Reproduces: Section III-B/III-C network argument; "
+              "calibrates MachineModel::dd_contention\n\n");
+
+  const double bw = 303.0 * 1024 * 1024;  // paper's measured T3E B/W
+  const double latency = 16e-6;
+  const std::uint64_t per_peer_bytes = 16 * 1024;  // one page per peer
+
+  std::printf("%6s %12s | %14s %14s | %14s %14s\n", "P", "topology",
+              "all-to-all", "ring shift", "a2a factor", "ring factor");
+  for (int p : {8, 16, 27, 64, 125}) {
+    for (Topology topo :
+         {Topology::kTorus3D, Topology::kFullyConnectedOnePort}) {
+      NetworkSimulator sim(p, topo, bw, latency);
+      const auto a2a = NetworkSimulator::AllToAll(p, per_peer_bytes);
+      const auto ring =
+          NetworkSimulator::RingShift(p, per_peer_bytes, p - 1);
+      const double a2a_time = sim.Run(a2a).makespan;
+      const double ring_time = sim.Run(ring).makespan;
+      std::printf("%6d %12s | %12.2fms %12.2fms | %14.2f %14.2f\n", p,
+                  topo == Topology::kTorus3D ? "3D torus" : "1-port full",
+                  a2a_time * 1e3, ring_time * 1e3,
+                  ContentionFactor(sim, a2a, bw),
+                  ContentionFactor(sim, ring, bw));
+    }
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nShape check: the ring factor stays ~1 everywhere; the torus "
+      "all-to-all factor grows\nwith P (the cost model's dd_contention "
+      "default of 4 corresponds to mid-size machines).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: mine association rules from the paper's Table I supermarket
+// database with the serial Apriori miner.
+//
+//   $ ./quickstart
+//
+// Reproduces the running example of Section II: sigma(Diaper, Milk) = 3,
+// sigma(Diaper, Milk, Beer) = 2, and the rule {Diaper, Milk} => {Beer}
+// with support 40% and confidence 66%.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "pam/core/rulegen.h"
+#include "pam/core/serial_apriori.h"
+#include "pam/tdb/database.h"
+
+namespace {
+
+const char* kItemNames[] = {"Beer", "Bread", "Coke", "Diaper", "Milk"};
+
+std::string NameSet(pam::ItemSpan items) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) out += ", ";
+    out += kItemNames[items[i]];
+  }
+  return out + "}";
+}
+
+std::string NameVec(const std::vector<pam::Item>& items) {
+  return NameSet(pam::ItemSpan(items.data(), items.size()));
+}
+
+}  // namespace
+
+int main() {
+  // Table I of the paper (items: Beer=0, Bread=1, Coke=2, Diaper=3,
+  // Milk=4).
+  pam::TransactionDatabase db;
+  db.Add({1, 2, 4});     // Bread, Coke, Milk
+  db.Add({0, 1});        // Beer, Bread
+  db.Add({0, 2, 3, 4});  // Beer, Coke, Diaper, Milk
+  db.Add({0, 1, 3, 4});  // Beer, Bread, Diaper, Milk
+  db.Add({2, 3, 4});     // Coke, Diaper, Milk
+
+  pam::AprioriConfig config;
+  config.minsup_count = 2;  // 40% of 5 transactions
+
+  pam::SerialResult result = pam::MineSerial(db, config);
+
+  std::printf("Frequent itemsets (minimum support count %llu):\n",
+              static_cast<unsigned long long>(result.minsup_count));
+  for (const auto& level : result.frequent.levels) {
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      std::printf("  %-28s support %llu/5\n",
+                  NameSet(level.Get(i)).c_str(),
+                  static_cast<unsigned long long>(level.count(i)));
+    }
+  }
+
+  std::printf("\nAssociation rules (minimum confidence 60%%):\n");
+  for (const pam::Rule& rule :
+       pam::GenerateRules(result.frequent, db.size(), 0.6)) {
+    std::printf("  %-20s => %-16s support %4.0f%%  confidence %4.0f%%\n",
+                NameVec(rule.antecedent).c_str(),
+                NameVec(rule.consequent).c_str(), rule.support * 100.0,
+                rule.confidence * 100.0);
+  }
+  return 0;
+}

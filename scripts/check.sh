@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full repository check: configure, build (warnings as errors), run the
+# test suite, and regenerate every table/figure harness.
+#
+#   scripts/check.sh [build-dir]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+cmake -B "$build" -G Ninja -DPAM_WERROR=ON "$repo"
+cmake --build "$build"
+ctest --test-dir "$build" --output-on-failure
+
+for b in "$build"/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    echo "--- $(basename "$b") ---"
+    "$b"
+  fi
+done

@@ -1,0 +1,31 @@
+#ifndef PAM_CORE_MAXIMAL_H_
+#define PAM_CORE_MAXIMAL_H_
+
+#include <vector>
+
+#include "pam/core/serial_apriori.h"
+
+namespace pam {
+
+/// Extracts the *maximal* frequent itemsets: frequent itemsets with no
+/// frequent superset. The union of all frequent itemsets is exactly the
+/// downward closure of this set, so it is the most compact lossless
+/// summary of which itemsets are frequent (the paper's synthetic
+/// generator is parameterized by the "maximal potentially frequent
+/// itemsets" for the same reason). Result is grouped by size like the
+/// input, counts preserved.
+FrequentItemsets ExtractMaximal(const FrequentItemsets& frequent);
+
+/// Extracts the *closed* frequent itemsets: frequent itemsets with no
+/// superset of equal support. Closed sets preserve not just frequency
+/// membership but every support count.
+FrequentItemsets ExtractClosed(const FrequentItemsets& frequent);
+
+/// True if `items` is frequent according to `frequent` — i.e. present in
+/// the downward closure of the maximal sets. Works on outputs of
+/// ExtractMaximal as well as full FrequentItemsets.
+bool CoveredByClosure(const FrequentItemsets& maximal, ItemSpan items);
+
+}  // namespace pam
+
+#endif  // PAM_CORE_MAXIMAL_H_

@@ -1,0 +1,136 @@
+#include "pam/core/serial_apriori.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "pam/core/apriori_gen.h"
+#include "pam/util/timer.h"
+
+namespace pam {
+
+Count AprioriConfig::ResolveMinsup(std::size_t n) const {
+  if (minsup_count > 0) return minsup_count;
+  const double raw = minsup_fraction * static_cast<double>(n);
+  const Count c = static_cast<Count>(std::ceil(raw));
+  return c > 0 ? c : 1;
+}
+
+std::size_t FrequentItemsets::TotalCount() const {
+  std::size_t total = 0;
+  for (const auto& level : levels) total += level.size();
+  return total;
+}
+
+bool FrequentItemsets::Lookup(ItemSpan items, Count* count) const {
+  if (items.empty() || items.size() > levels.size()) return false;
+  const ItemsetCollection& level = levels[items.size() - 1];
+  const std::size_t idx = level.Find(items);
+  if (idx == ItemsetCollection::npos) return false;
+  if (count != nullptr) *count = level.count(idx);
+  return true;
+}
+
+namespace {
+
+// Counts `candidates` over the slice, honoring the memory cap by chunking.
+// Returns the number of database scans performed and accumulates subset
+// stats and tree-build inserts.
+std::size_t CountCandidates(const TransactionDatabase& db,
+                            TransactionDatabase::Slice slice,
+                            ItemsetCollection& candidates,
+                            const AprioriConfig& config,
+                            SerialPassInfo* info) {
+  const std::size_t m = candidates.size();
+  const std::size_t cap = config.max_candidates_in_memory == 0
+                              ? m
+                              : config.max_candidates_in_memory;
+  const std::size_t num_chunks = m == 0 ? 1 : (m + cap - 1) / cap;
+
+  std::vector<Count> counts(m, 0);
+  std::span<Count> counts_span(counts);
+  for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
+    const std::size_t lo = chunk * cap;
+    const std::size_t hi = std::min(m, lo + cap);
+    std::vector<std::uint32_t> ids(hi - lo);
+    std::iota(ids.begin(), ids.end(), static_cast<std::uint32_t>(lo));
+    HashTree tree(candidates, std::move(ids), config.tree);
+    if (info != nullptr) {
+      info->tree_build_inserts += tree.build_inserts();
+      if (chunk == 0) info->num_leaves = tree.num_leaves();
+    }
+    for (std::size_t t = slice.begin; t < slice.end; ++t) {
+      tree.Subset(db.Transaction(t), counts_span,
+                  info != nullptr ? &info->subset : nullptr);
+    }
+  }
+  candidates.counts() = std::move(counts);
+  return num_chunks;
+}
+
+}  // namespace
+
+SerialResult MineSerial(const TransactionDatabase& db,
+                        TransactionDatabase::Slice slice,
+                        const AprioriConfig& config) {
+  WallTimer total_timer;
+  SerialResult result;
+  result.minsup_count = config.ResolveMinsup(slice.size());
+
+  // Pass 1: direct counting array, no hash tree needed. With DHP enabled,
+  // the same scan also hashes every transaction pair into buckets.
+  std::vector<Count> dhp_buckets;
+  {
+    WallTimer timer;
+    SerialPassInfo info;
+    info.k = 1;
+    std::vector<Count> item_counts = CountItems(db, slice);
+    if (config.dhp_buckets > 0) {
+      dhp_buckets = CountPairBuckets(db, slice, config.dhp_buckets);
+    }
+    info.num_candidates = item_counts.size();
+    ItemsetCollection f1 = MakeF1(item_counts, result.minsup_count);
+    info.num_frequent = f1.size();
+    info.seconds = timer.Seconds();
+    result.passes.push_back(info);
+    result.frequent.levels.push_back(std::move(f1));
+  }
+
+  for (int k = 2; config.max_k == 0 || k <= config.max_k; ++k) {
+    const ItemsetCollection& prev = result.frequent.levels.back();
+    if (prev.size() < 2) break;
+    WallTimer timer;
+    SerialPassInfo info;
+    info.k = k;
+    ItemsetCollection candidates = AprioriGen(prev);
+    if (k == 2 && !dhp_buckets.empty()) {
+      candidates =
+          FilterByBuckets(candidates, dhp_buckets, result.minsup_count);
+    }
+    info.num_candidates = candidates.size();
+    if (candidates.empty()) break;
+
+    info.db_scans = CountCandidates(db, slice, candidates, config, &info);
+    candidates.PruneBelow(result.minsup_count);
+    info.num_frequent = candidates.size();
+    info.seconds = timer.Seconds();
+    result.passes.push_back(info);
+    if (candidates.empty()) break;
+    result.frequent.levels.push_back(std::move(candidates));
+  }
+
+  // Drop a trailing empty level if the loop appended one.
+  while (!result.frequent.levels.empty() &&
+         result.frequent.levels.back().empty()) {
+    result.frequent.levels.pop_back();
+  }
+  result.total_seconds = total_timer.Seconds();
+  return result;
+}
+
+SerialResult MineSerial(const TransactionDatabase& db,
+                        const AprioriConfig& config) {
+  return MineSerial(db, TransactionDatabase::Slice{0, db.size()}, config);
+}
+
+}  // namespace pam

@@ -1,0 +1,93 @@
+#ifndef PAM_CORE_SERIAL_APRIORI_H_
+#define PAM_CORE_SERIAL_APRIORI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pam/core/itemset_collection.h"
+#include "pam/hashtree/hash_tree.h"
+#include "pam/tdb/database.h"
+
+namespace pam {
+
+/// Mining parameters shared by the serial algorithm and all four parallel
+/// formulations.
+struct AprioriConfig {
+  /// Absolute minimum support count. If 0, it is derived as
+  /// ceil(minsup_fraction * |T|).
+  Count minsup_count = 0;
+  /// Relative minimum support; only used when minsup_count == 0. The
+  /// paper's experiments use 0.1% .. 0.025%.
+  double minsup_fraction = 0.01;
+  /// Hash tree shape.
+  HashTreeConfig tree;
+  /// Stop after this pass (0 = run until F_k is empty). The paper's
+  /// Figures 13-15 measure pass 3 only (max_k = 3 with count_only_last_pass
+  /// semantics handled by the benches).
+  int max_k = 0;
+  /// When non-zero, at most this many candidates may be resident in memory
+  /// at once: the candidate set is partitioned into ceil(M / capacity)
+  /// chunks and the transactions are re-scanned once per chunk, exactly the
+  /// multi-pass behaviour the paper describes for CD when the hash tree
+  /// overflows memory (Figure 12). 0 = unlimited.
+  std::size_t max_candidates_in_memory = 0;
+  /// DHP-style pair-hash filtering (Park/Chen/Yu, the paper's refs [12]
+  /// and [15]; PDM = CD + DHP): when non-zero, pass 1 additionally hashes
+  /// every item pair of every transaction into this many buckets, and C_2
+  /// keeps only candidates whose bucket count reaches minsup. Bucket
+  /// counts upper-bound true supports, so results are identical — only
+  /// C_2 (the pass the paper's Table II shows ballooning) shrinks.
+  /// 0 = disabled.
+  std::size_t dhp_buckets = 0;
+
+  /// Resolves the absolute support threshold for a database of size n.
+  Count ResolveMinsup(std::size_t n) const;
+};
+
+/// Per-pass measurements of a serial run; the parallel metrics extend this.
+struct SerialPassInfo {
+  int k = 0;
+  std::size_t num_candidates = 0;
+  std::size_t num_frequent = 0;
+  std::size_t num_leaves = 0;
+  std::uint64_t tree_build_inserts = 0;
+  /// Number of full scans of the transactions in this pass (> 1 only when
+  /// max_candidates_in_memory forces chunking).
+  std::size_t db_scans = 1;
+  SubsetStats subset;
+  double seconds = 0.0;
+};
+
+/// All frequent itemsets, one collection per size k (levels[0] is F_1).
+struct FrequentItemsets {
+  std::vector<ItemsetCollection> levels;
+
+  std::size_t TotalCount() const;
+  /// Largest k with non-empty F_k (0 if nothing is frequent).
+  int MaxK() const { return static_cast<int>(levels.size()); }
+  /// Lookup of an itemset's global support count; returns npos-like
+  /// `found=false` if the set is not frequent.
+  bool Lookup(ItemSpan items, Count* count) const;
+};
+
+/// Result of a serial mining run.
+struct SerialResult {
+  FrequentItemsets frequent;
+  std::vector<SerialPassInfo> passes;
+  Count minsup_count = 0;
+  double total_seconds = 0.0;
+};
+
+/// The serial Apriori algorithm of the paper's Figure 1, restricted to the
+/// transactions in `slice` (pass the full range for a classic run).
+SerialResult MineSerial(const TransactionDatabase& db,
+                        TransactionDatabase::Slice slice,
+                        const AprioriConfig& config);
+
+/// Convenience overload over the whole database.
+SerialResult MineSerial(const TransactionDatabase& db,
+                        const AprioriConfig& config);
+
+}  // namespace pam
+
+#endif  // PAM_CORE_SERIAL_APRIORI_H_

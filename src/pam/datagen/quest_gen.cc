@@ -1,0 +1,146 @@
+#include "pam/datagen/quest_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "pam/util/prng.h"
+
+namespace pam {
+namespace {
+
+struct Pattern {
+  std::vector<Item> items;  // sorted
+  double corruption = 0.5;
+};
+
+// Builds the pool of "maximal potentially frequent" patterns.
+std::vector<Pattern> BuildPatterns(const QuestConfig& cfg, Prng& rng,
+                                   std::vector<double>& cumulative_weight) {
+  std::vector<Pattern> patterns(cfg.num_patterns);
+  std::vector<double> weights(cfg.num_patterns);
+
+  std::vector<Item> scratch;
+  for (std::size_t p = 0; p < cfg.num_patterns; ++p) {
+    Pattern& pat = patterns[p];
+    std::size_t len = std::max<std::uint64_t>(
+        1, rng.NextPoisson(cfg.avg_pattern_len));
+    len = std::min<std::size_t>(len, cfg.num_items);
+
+    scratch.clear();
+    if (p > 0 && !patterns[p - 1].items.empty()) {
+      // Borrow a correlated fraction from the previous pattern.
+      double frac = std::min(1.0, rng.NextExponential(cfg.correlation));
+      auto take = static_cast<std::size_t>(
+          std::round(frac * static_cast<double>(len)));
+      take = std::min(take, patterns[p - 1].items.size());
+      std::vector<Item> prev = patterns[p - 1].items;
+      for (std::size_t i = 0; i < take; ++i) {
+        const std::size_t idx = rng.NextBounded(prev.size());
+        scratch.push_back(prev[idx]);
+        prev.erase(prev.begin() + static_cast<std::ptrdiff_t>(idx));
+      }
+    }
+    while (scratch.size() < len) {
+      scratch.push_back(static_cast<Item>(rng.NextBounded(cfg.num_items)));
+    }
+    std::sort(scratch.begin(), scratch.end());
+    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+    pat.items = scratch;
+
+    double c = cfg.corruption_mean + 0.1 * rng.NextGaussian();
+    pat.corruption = std::clamp(c, 0.0, 0.95);
+    weights[p] = rng.NextExponential(1.0);
+  }
+
+  // Normalize weights into a cumulative distribution for pattern picking.
+  double total = 0.0;
+  for (double w : weights) total += w;
+  cumulative_weight.resize(weights.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i] / total;
+    cumulative_weight[i] = acc;
+  }
+  if (!cumulative_weight.empty()) cumulative_weight.back() = 1.0;
+  return patterns;
+}
+
+std::size_t PickPattern(const std::vector<double>& cumulative, Prng& rng) {
+  const double u = rng.NextDouble();
+  auto it = std::lower_bound(cumulative.begin(), cumulative.end(), u);
+  if (it == cumulative.end()) return cumulative.size() - 1;
+  return static_cast<std::size_t>(it - cumulative.begin());
+}
+
+}  // namespace
+
+namespace {
+
+QuestConfig Preset(std::size_t n, double t, double i, std::uint64_t seed) {
+  QuestConfig cfg;
+  cfg.num_transactions = n;
+  cfg.avg_transaction_len = t;
+  cfg.avg_pattern_len = i;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace
+
+QuestConfig QuestT5I2(std::size_t n, std::uint64_t seed) {
+  return Preset(n, 5, 2, seed);
+}
+QuestConfig QuestT10I4(std::size_t n, std::uint64_t seed) {
+  return Preset(n, 10, 4, seed);
+}
+QuestConfig QuestT15I6(std::size_t n, std::uint64_t seed) {
+  return Preset(n, 15, 6, seed);
+}
+QuestConfig QuestT20I6(std::size_t n, std::uint64_t seed) {
+  return Preset(n, 20, 6, seed);
+}
+
+TransactionDatabase GenerateQuest(const QuestConfig& cfg) {
+  Prng rng(cfg.seed);
+  std::vector<double> cumulative;
+  const std::vector<Pattern> patterns = BuildPatterns(cfg, rng, cumulative);
+
+  TransactionDatabase db;
+  std::vector<Item> tx;
+  std::vector<Item> instance;
+  for (std::size_t t = 0; t < cfg.num_transactions; ++t) {
+    std::size_t target = std::max<std::uint64_t>(
+        1, rng.NextPoisson(cfg.avg_transaction_len));
+    target = std::min<std::size_t>(target, cfg.num_items);
+
+    tx.clear();
+    // Guard against pathological corruption levels looping forever.
+    int attempts = 0;
+    while (tx.size() < target && attempts < 64) {
+      ++attempts;
+      const Pattern& pat = patterns[PickPattern(cumulative, rng)];
+      instance.clear();
+      for (Item item : pat.items) {
+        // Drop items while the draw stays below the corruption level.
+        if (rng.NextDouble() >= pat.corruption) instance.push_back(item);
+      }
+      if (instance.empty()) continue;
+      if (tx.size() + instance.size() > target && !tx.empty()) {
+        // Pattern does not fit: add anyway half the time, drop otherwise.
+        if (rng.NextU64() & 1) {
+          tx.insert(tx.end(), instance.begin(), instance.end());
+        }
+        break;
+      }
+      tx.insert(tx.end(), instance.begin(), instance.end());
+    }
+    if (tx.empty()) {
+      tx.push_back(static_cast<Item>(rng.NextBounded(cfg.num_items)));
+    }
+    db.Add(tx);
+  }
+  return db;
+}
+
+}  // namespace pam

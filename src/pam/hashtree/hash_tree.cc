@@ -1,0 +1,205 @@
+#include "pam/hashtree/hash_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "pam/tdb/database.h"
+
+namespace pam {
+
+HashTreeConfig HashTreeConfig::TunedFor(std::size_t num_candidates, int k,
+                                        int target_s) {
+  HashTreeConfig config;
+  config.leaf_capacity = target_s > 0 ? target_s : 1;
+  const double needed_leaves =
+      static_cast<double>(num_candidates) /
+      static_cast<double>(config.leaf_capacity);
+  // Smallest fanout with fanout^k >= needed_leaves.
+  double fanout = 4.0;
+  if (needed_leaves > 1.0 && k >= 1) {
+    fanout = std::ceil(std::pow(needed_leaves, 1.0 / k));
+  }
+  config.fanout = static_cast<int>(std::min(1024.0, std::max(4.0, fanout)));
+  return config;
+}
+
+void SubsetStats::Accumulate(const SubsetStats& other) {
+  transactions += other.transactions;
+  root_items_considered += other.root_items_considered;
+  root_items_skipped += other.root_items_skipped;
+  traversal_steps += other.traversal_steps;
+  distinct_leaf_visits += other.distinct_leaf_visits;
+  leaf_candidates_checked += other.leaf_candidates_checked;
+}
+
+double SubsetStats::AvgLeafVisitsPerTransaction() const {
+  if (transactions == 0) return 0.0;
+  return static_cast<double>(distinct_leaf_visits) /
+         static_cast<double>(transactions);
+}
+
+HashTree::HashTree(const ItemsetCollection& candidates,
+                   std::vector<std::uint32_t> candidate_ids,
+                   HashTreeConfig config)
+    : candidates_(candidates),
+      fanout_(config.fanout),
+      leaf_capacity_(config.leaf_capacity),
+      k_(candidates.k()) {
+  assert(fanout_ >= 2);
+  assert(leaf_capacity_ >= 1);
+  nodes_.emplace_back();  // root starts as an empty leaf
+  num_leaves_ = 1;
+  num_candidates_ = candidate_ids.size();
+  for (std::uint32_t id : candidate_ids) Insert(id);
+}
+
+HashTree::HashTree(const ItemsetCollection& candidates, HashTreeConfig config)
+    : HashTree(candidates,
+               [&candidates] {
+                 std::vector<std::uint32_t> all(candidates.size());
+                 std::iota(all.begin(), all.end(), 0);
+                 return all;
+               }(),
+               config) {}
+
+void HashTree::Insert(std::uint32_t candidate_id) {
+  ++build_inserts_;
+  ItemSpan items = candidates_.Get(candidate_id);
+  std::int32_t node = 0;
+  int depth = 0;
+  while (!nodes_[static_cast<std::size_t>(node)].is_leaf) {
+    const int bucket = Hash(items[static_cast<std::size_t>(depth)]);
+    std::int32_t& child = nodes_[static_cast<std::size_t>(node)]
+                              .children[static_cast<std::size_t>(bucket)];
+    if (child < 0) {
+      child = static_cast<std::int32_t>(nodes_.size());
+      nodes_.emplace_back();
+      ++num_leaves_;
+    }
+    node = child;
+    ++depth;
+  }
+  Node& leaf = nodes_[static_cast<std::size_t>(node)];
+  leaf.leaf_candidates.push_back(candidate_id);
+  // Split when over capacity, unless the hash path is exhausted (depth == k):
+  // then candidates must chain in the leaf, exactly as in the paper.
+  if (leaf.leaf_candidates.size() >
+          static_cast<std::size_t>(leaf_capacity_) &&
+      depth < k_) {
+    SplitLeaf(node, depth);
+  }
+}
+
+void HashTree::SplitLeaf(std::int32_t node_index, int depth) {
+  std::vector<std::uint32_t> moved =
+      std::move(nodes_[static_cast<std::size_t>(node_index)].leaf_candidates);
+  Node& node = nodes_[static_cast<std::size_t>(node_index)];
+  node.is_leaf = false;
+  node.leaf_candidates.clear();
+  node.children.assign(static_cast<std::size_t>(fanout_), -1);
+  --num_leaves_;
+  for (std::uint32_t id : moved) {
+    ItemSpan items = candidates_.Get(id);
+    const int bucket = Hash(items[static_cast<std::size_t>(depth)]);
+    // Re-fetch the child reference each iteration: recursive splits may
+    // reallocate nodes_.
+    std::int32_t child = nodes_[static_cast<std::size_t>(node_index)]
+                             .children[static_cast<std::size_t>(bucket)];
+    if (child < 0) {
+      child = static_cast<std::int32_t>(nodes_.size());
+      nodes_.emplace_back();
+      ++num_leaves_;
+      nodes_[static_cast<std::size_t>(node_index)]
+          .children[static_cast<std::size_t>(bucket)] = child;
+    }
+    Node& leaf = nodes_[static_cast<std::size_t>(child)];
+    leaf.leaf_candidates.push_back(id);
+    if (leaf.leaf_candidates.size() >
+            static_cast<std::size_t>(leaf_capacity_) &&
+        depth + 1 < k_) {
+      SplitLeaf(child, depth + 1);
+    }
+  }
+}
+
+void HashTree::Subset(ItemSpan transaction, std::span<Count> counts,
+                      SubsetStats* stats, const Bitmap* root_filter) {
+  assert(counts.size() == candidates_.size());
+  if (static_cast<int>(transaction.size()) < k_) {
+    if (stats) ++stats->transactions;
+    return;
+  }
+  ++epoch_;
+  if (stats) ++stats->transactions;
+  // Root level: try every item as the starting item of a candidate,
+  // filtered by the IDD ownership bitmap when present. Items beyond
+  // size-k+1 cannot start a k-candidate.
+  const std::size_t last_start = transaction.size() -
+                                 static_cast<std::size_t>(k_) + 1;
+  Node& root = nodes_[0];
+  for (std::size_t i = 0; i < last_start; ++i) {
+    const Item item = transaction[i];
+    if (root_filter != nullptr && !root_filter->Test(item)) {
+      if (stats) ++stats->root_items_skipped;
+      continue;
+    }
+    if (stats) ++stats->root_items_considered;
+    if (root.is_leaf) {
+      // Degenerate single-node tree: check once (first viable item) and
+      // stop; further starts revisit the same leaf.
+      Visit(0, transaction, i + 1, counts, stats);
+      break;
+    }
+    const int bucket = Hash(item);
+    const std::int32_t child =
+        root.children[static_cast<std::size_t>(bucket)];
+    if (stats) ++stats->traversal_steps;
+    if (child >= 0) Visit(child, transaction, i + 1, counts, stats);
+  }
+}
+
+void HashTree::Visit(std::int32_t node_index, ItemSpan transaction,
+                     std::size_t pos, std::span<Count> counts,
+                     SubsetStats* stats) {
+  Node& node = nodes_[static_cast<std::size_t>(node_index)];
+  if (node.is_leaf) {
+    // Distinct-leaf detection: a leaf already visited for this transaction
+    // contributes no further checking work (paper Section IV).
+    if (node.visit_epoch == epoch_) return;
+    node.visit_epoch = epoch_;
+    if (stats) {
+      ++stats->distinct_leaf_visits;
+      stats->leaf_candidates_checked += node.leaf_candidates.size();
+    }
+    for (std::uint32_t id : node.leaf_candidates) {
+      if (IsSortedSubset(candidates_.Get(id), transaction)) {
+        ++counts[id];
+      }
+    }
+    return;
+  }
+  for (std::size_t i = pos; i < transaction.size(); ++i) {
+    const int bucket = Hash(transaction[i]);
+    const std::int32_t child =
+        node.children[static_cast<std::size_t>(bucket)];
+    if (stats) ++stats->traversal_steps;
+    if (child >= 0) Visit(child, transaction, i + 1, counts, stats);
+  }
+}
+
+std::vector<Count> CountBruteForce(const TransactionDatabase& db,
+                                   TransactionDatabase::Slice slice,
+                                   const ItemsetCollection& candidates) {
+  std::vector<Count> counts(candidates.size(), 0);
+  for (std::size_t t = slice.begin; t < slice.end; ++t) {
+    ItemSpan tx = db.Transaction(t);
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (IsSortedSubset(candidates.Get(c), tx)) ++counts[c];
+    }
+  }
+  return counts;
+}
+
+}  // namespace pam

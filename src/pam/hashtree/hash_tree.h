@@ -1,0 +1,129 @@
+#ifndef PAM_HASHTREE_HASH_TREE_H_
+#define PAM_HASHTREE_HASH_TREE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pam/core/itemset_collection.h"
+#include "pam/tdb/database.h"
+#include "pam/util/bitmap.h"
+#include "pam/util/types.h"
+
+namespace pam {
+
+/// Shape parameters of the candidate hash tree (paper Section II). The
+/// paper tunes the branching factor so that the average number of
+/// candidates per leaf is S; here both knobs are explicit.
+struct HashTreeConfig {
+  /// Branching factor of internal nodes; items hash as `item % fanout`.
+  int fanout = 8;
+  /// A leaf splits into an internal node when it would exceed this many
+  /// candidates (unless its depth already equals k, where chaining is
+  /// unavoidable because the hash path is exhausted).
+  int leaf_capacity = 16;
+
+  /// The paper's tuning rule: "the desired value of S can be obtained by
+  /// adjusting the branching factor". Returns a config whose fanout is
+  /// large enough that a tree over `num_candidates` k-itemsets has at
+  /// least num_candidates / target_s distinct depth-k hash paths, so the
+  /// average leaf holds about `target_s` candidates instead of chaining
+  /// (fanout^k >= M / S, clamped to [4, 1024]).
+  static HashTreeConfig TunedFor(std::size_t num_candidates, int k,
+                                 int target_s);
+};
+
+/// Work counters accumulated by Subset(). These are the exact quantities of
+/// the paper's Section IV analysis: `traversal_steps` corresponds to the
+/// C * t_travers term, `distinct_leaf_visits` to the V_{C,L} * t_check term
+/// (Figure 11 plots its per-transaction average for DD vs IDD), and
+/// `leaf_candidates_checked` counts candidate-vs-transaction subset tests.
+struct SubsetStats {
+  std::uint64_t transactions = 0;
+  std::uint64_t root_items_considered = 0;
+  std::uint64_t root_items_skipped = 0;  // filtered out by the IDD bitmap
+  std::uint64_t traversal_steps = 0;
+  std::uint64_t distinct_leaf_visits = 0;
+  std::uint64_t leaf_candidates_checked = 0;
+
+  void Accumulate(const SubsetStats& other);
+  /// Average distinct leaves visited per transaction (the y-axis of
+  /// Figure 11).
+  double AvgLeafVisitsPerTransaction() const;
+};
+
+/// The candidate hash tree of the Apriori algorithm: internal nodes hash
+/// successive itemset items to children, leaves store candidate indices.
+/// `Subset(t)` updates the counts of every candidate contained in
+/// transaction t by traversing the tree once per viable start item
+/// (Figures 2 and 3 of the paper).
+///
+/// A HashTree holds a subset of the candidates of an ItemsetCollection
+/// (possibly all of them); counts are written into an external array
+/// indexed by the collection's candidate index, so CD's global reduction
+/// and DD/IDD/HD's partitioned counting all reuse the same counting code.
+class HashTree {
+ public:
+  /// Builds a tree over candidates `candidate_ids` of `candidates`.
+  /// The collection must outlive the tree.
+  HashTree(const ItemsetCollection& candidates,
+           std::vector<std::uint32_t> candidate_ids, HashTreeConfig config);
+
+  /// Builds a tree over *all* candidates of the collection.
+  HashTree(const ItemsetCollection& candidates, HashTreeConfig config);
+
+  /// Counts the candidates contained in `transaction` into `counts`
+  /// (indexed by candidate index in the collection; must have size
+  /// `candidates.size()`). If `root_filter` is non-null, transaction items
+  /// without their bit set are skipped at the root level — the IDD bitmap
+  /// pruning of Figure 8. `stats` may be null.
+  void Subset(ItemSpan transaction, std::span<Count> counts,
+              SubsetStats* stats, const Bitmap* root_filter = nullptr);
+
+  /// Number of leaf nodes (the L of the paper's analysis).
+  std::size_t num_leaves() const { return num_leaves_; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_candidates() const { return num_candidates_; }
+  /// Number of candidate insertions performed during construction; the cost
+  /// model charges hash tree construction (the O(M) term) per insertion.
+  std::uint64_t build_inserts() const { return build_inserts_; }
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    // For internal nodes: child index per hash bucket, -1 when absent.
+    std::vector<std::int32_t> children;
+    // For leaves: candidate ids (indices into the collection).
+    std::vector<std::uint32_t> leaf_candidates;
+    // Epoch marker for distinct-leaf-visit detection within a transaction.
+    std::uint64_t visit_epoch = 0;
+  };
+
+  void Insert(std::uint32_t candidate_id);
+  void SplitLeaf(std::int32_t node_index, int depth);
+  void Visit(std::int32_t node_index, ItemSpan transaction, std::size_t pos,
+             std::span<Count> counts, SubsetStats* stats);
+
+  int Hash(Item item) const { return static_cast<int>(item % fanout_); }
+
+  const ItemsetCollection& candidates_;
+  const int fanout_;
+  const int leaf_capacity_;
+  const int k_;
+  std::vector<Node> nodes_;
+  std::size_t num_leaves_ = 0;
+  std::size_t num_candidates_ = 0;
+  std::uint64_t build_inserts_ = 0;
+  std::uint64_t epoch_ = 0;
+};
+
+/// Reference counter: O(|T| * |C_k|) subset matching, used to validate the
+/// hash tree in tests. Counts every candidate of `candidates` over the
+/// transactions [slice.begin, slice.end) of `db`.
+std::vector<Count> CountBruteForce(const TransactionDatabase& db,
+                                   TransactionDatabase::Slice slice,
+                                   const ItemsetCollection& candidates);
+
+}  // namespace pam
+
+#endif  // PAM_HASHTREE_HASH_TREE_H_

@@ -1,0 +1,140 @@
+#include "pam/model/analytic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pam/model/vij.h"
+
+namespace pam {
+namespace {
+
+// Compute-side of the subset function: C_eff traversal paths and
+// V(C_eff, L_eff) distinct leaf checks (each over S candidates) per
+// transaction, times the number of transactions a processor handles.
+double SubsetSeconds(double transactions, double c_eff, double l_eff,
+                     double avg_leaf_candidates, double items_scanned,
+                     const MachineModel& machine) {
+  const double v = ExpectedDistinctLeaves(c_eff, l_eff);
+  return transactions *
+         (items_scanned * machine.t_root + c_eff * machine.t_travers +
+          v * machine.t_check +
+          v * avg_leaf_candidates * machine.t_compare);
+}
+
+double TreeBuildSeconds(double candidates_built, double candidates_generated,
+                        const MachineModel& machine) {
+  return candidates_built * machine.t_build +
+         candidates_generated * machine.t_gen;
+}
+
+double ReductionSeconds(double words, int group, const MachineModel& m) {
+  if (group <= 1 || words <= 0) return 0.0;
+  const double stages = std::ceil(std::log2(static_cast<double>(group)));
+  return stages * (m.latency + words * 8.0 / m.bandwidth);
+}
+
+// Transaction bytes: one length word plus one word per item.
+double WireBytes(double transactions, double avg_items) {
+  return transactions * (avg_items + 1.0) * 4.0;
+}
+
+}  // namespace
+
+double AnalyticWorkload::PotentialCandidates() const {
+  return BinomialCoefficient(
+      static_cast<std::uint64_t>(avg_transaction_items + 0.5),
+      static_cast<std::uint64_t>(pass_k));
+}
+
+double AnalyticWorkload::SerialLeaves() const {
+  return avg_leaf_candidates > 0 ? num_candidates / avg_leaf_candidates
+                                 : num_candidates;
+}
+
+double PredictSerialPassSeconds(const AnalyticWorkload& w,
+                                const MachineModel& machine) {
+  return SubsetSeconds(w.num_transactions, w.PotentialCandidates(),
+                       w.SerialLeaves(), w.avg_leaf_candidates,
+                       w.avg_transaction_items, machine) +
+         TreeBuildSeconds(w.num_candidates, w.num_candidates, machine);
+}
+
+double PredictParallelPassSeconds(Algorithm algorithm,
+                                  const AnalyticWorkload& w,
+                                  const MachineModel& machine) {
+  const double n = w.num_transactions;
+  const double m = w.num_candidates;
+  const double p = static_cast<double>(w.num_processors);
+  const double c = w.PotentialCandidates();
+  const double l = w.SerialLeaves();
+  const double i = w.avg_transaction_items;
+  const double s = w.avg_leaf_candidates;
+
+  switch (algorithm) {
+    case Algorithm::kCD:
+      // Eq. 4: serial work over N/P transactions, full tree per rank,
+      // plus the global reduction of M words.
+      return SubsetSeconds(n / p, c, l, s, i, machine) +
+             TreeBuildSeconds(m, m, machine) +
+             ReductionSeconds(m, w.num_processors, machine);
+    case Algorithm::kDD:
+    case Algorithm::kDDComm: {
+      // Eq. 5: all N transactions, full C per transaction, 1/P-th tree.
+      const double compute =
+          SubsetSeconds(n, c, l / p, s, i, machine) +
+          TreeBuildSeconds(m / p, m, machine);
+      double comm = WireBytes(n, i) * (p - 1.0) / p / machine.bandwidth;
+      if (algorithm == Algorithm::kDD) comm *= machine.dd_contention;
+      return compute + comm;
+    }
+    case Algorithm::kIDD: {
+      // Eq. 6: the intelligent partition also divides C by P.
+      const double compute =
+          SubsetSeconds(n, c / p, l / p, s, i, machine) +
+          TreeBuildSeconds(m / p, m, machine);
+      const double comm =
+          WireBytes(n, i) * (p - 1.0) / p / machine.bandwidth;
+      return compute + comm;
+    }
+    case Algorithm::kHD: {
+      // Eq. 7 on the G x (P/G) grid.
+      const double g = static_cast<double>(w.hd_grid_rows);
+      const int cols = w.num_processors / w.hd_grid_rows;
+      const double compute =
+          SubsetSeconds(g * n / p, c / g, l / g, s, i, machine) +
+          TreeBuildSeconds(m / g, m, machine);
+      const double comm =
+          WireBytes(g * n / p, i) * (g - 1.0) / g / machine.bandwidth;
+      return compute + comm + ReductionSeconds(m / g, cols, machine);
+    }
+    case Algorithm::kHPA: {
+      // Section III-E: C potential candidates per transaction are
+      // generated, hashed, and (P-1)/P of them shipped (k+ items each).
+      const double compute =
+          n / p * c * (machine.t_travers + machine.t_compare) +
+          TreeBuildSeconds(m / p, m, machine);
+      const double bytes =
+          n / p * c * (p - 1.0) / p * w.pass_k * 4.0;
+      return compute +
+             bytes * machine.dd_contention / machine.bandwidth;
+    }
+  }
+  return 0.0;
+}
+
+double PredictEfficiency(Algorithm algorithm, const AnalyticWorkload& w,
+                         const MachineModel& machine) {
+  const double serial = PredictSerialPassSeconds(w, machine);
+  const double parallel = PredictParallelPassSeconds(algorithm, w, machine);
+  if (parallel <= 0.0) return 0.0;
+  return serial / (static_cast<double>(w.num_processors) * parallel);
+}
+
+double HdAdvantageUpperG(const AnalyticWorkload& w) {
+  if (w.num_transactions <= 0) return 1.0;
+  return std::max(
+      1.0, w.num_candidates *
+               static_cast<double>(w.num_processors) / w.num_transactions);
+}
+
+}  // namespace pam

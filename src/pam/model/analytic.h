@@ -1,0 +1,58 @@
+#ifndef PAM_MODEL_ANALYTIC_H_
+#define PAM_MODEL_ANALYTIC_H_
+
+#include "pam/model/machine.h"
+#include "pam/parallel/algorithms.h"
+
+namespace pam {
+
+/// Inputs of the paper's Section IV closed-form analysis (Table III):
+/// everything is a *given* here — no mining is run. The analytic
+/// predictor is the paper's Equations 3-7 executed literally; the
+/// measured-counter CostModel is its empirical counterpart, and
+/// bench_section4_predictions compares the two.
+struct AnalyticWorkload {
+  double num_transactions = 0;       // N (total)
+  double num_candidates = 0;         // M (total, this pass)
+  double avg_transaction_items = 15; // I
+  int pass_k = 2;                    // k
+  double avg_leaf_candidates = 16;   // S (so L = M / S)
+  int num_processors = 1;            // P
+  int hd_grid_rows = 1;              // G (HD only)
+
+  /// C = (I choose k), the potential candidates per transaction.
+  double PotentialCandidates() const;
+  /// L = M / S, the serial tree's expected leaf count.
+  double SerialLeaves() const;
+};
+
+/// Per-pass time predictions (seconds) from the paper's equations:
+///   Eq. 3: T_serial = N*C*t_travers + N*V(C, L)*t_check + O(M)
+///   Eq. 4: T_CD     = (N/P)*C*t_tr + (N/P)*V(C, L)*t_ch + O(M)
+///   Eq. 5: T_DD     = N*C*t_tr + N*V(C, L/P)*t_ch + O(M/P) + O(N)
+///   Eq. 6: T_IDD    = N*(C/P)*t_tr + N*V(C/P, L/P)*t_ch + O(M/P) + O(N)
+///   Eq. 7: T_HD     = (GN/P)*(C/G)*t_tr + (GN/P)*V(C/G, L/G)*t_ch
+///                     + O(M/G) + O(GN/P)
+/// The O(M)-family terms are charged as hash tree construction
+/// (t_build + t_gen per candidate) plus the reduction/broadcast the
+/// algorithm performs; the O(N)-family terms as data movement over the
+/// machine's bandwidth (with DD paying the contention multiplier).
+double PredictSerialPassSeconds(const AnalyticWorkload& workload,
+                                const MachineModel& machine);
+double PredictParallelPassSeconds(Algorithm algorithm,
+                                  const AnalyticWorkload& workload,
+                                  const MachineModel& machine);
+
+/// Efficiency E = T_serial / (P * T_p) (the paper's scalability metric).
+double PredictEfficiency(Algorithm algorithm,
+                         const AnalyticWorkload& workload,
+                         const MachineModel& machine);
+
+/// The paper's Equation 8 feasibility band: HD beats CD when
+/// 1 < G < O(M * P / N). Returns the largest admissible G under the
+/// literal reading (M * P / N), or 1 when the band is empty.
+double HdAdvantageUpperG(const AnalyticWorkload& workload);
+
+}  // namespace pam
+
+#endif  // PAM_MODEL_ANALYTIC_H_

@@ -1,0 +1,61 @@
+#ifndef PAM_MODEL_MACHINE_H_
+#define PAM_MODEL_MACHINE_H_
+
+#include <string>
+
+namespace pam {
+
+/// Machine parameters used by the cost model to convert exact work counts
+/// into response times. Two presets reproduce the paper's testbeds; the
+/// constants are calibrated to the hardware the paper describes (T3E:
+/// 600 MHz EV5, 303 MB/s measured bandwidth, 16 us startup; SP2: 66.7 MHz
+/// Power2, ~110 MB/s HPS peak, disk-resident database).
+struct MachineModel {
+  std::string name;
+
+  // ---- Compute (seconds per unit of work) ----
+  /// One hash-node traversal step (the paper's t_travers).
+  double t_travers = 0.0;
+  /// One root-level transaction item considered or skipped (bitmap test /
+  /// loop overhead). Small, but DD/IDD/HD pay it for every transaction in
+  /// the database per pass (not just the local N/P), which is part of why
+  /// IDD's scaleup curve rises while HD's bounded grid keeps it flat.
+  double t_root = 0.0;
+  /// Fixed overhead of checking one distinct leaf (the paper's t_check).
+  double t_check = 0.0;
+  /// One candidate-vs-transaction subset comparison at a leaf.
+  double t_compare = 0.0;
+  /// One candidate insertion during hash tree construction.
+  double t_build = 0.0;
+  /// One candidate produced by apriori_gen (join + prune).
+  double t_gen = 0.0;
+
+  // ---- Network ----
+  /// Per-message startup latency (seconds).
+  double latency = 0.0;
+  /// Per-link bandwidth (bytes/second).
+  double bandwidth = 1.0;
+  /// Multiplier applied to DD's unstructured all-to-all page traffic,
+  /// modeling the contention the paper describes for sparse interconnects
+  /// where a node can drive only one link at a time.
+  double dd_contention = 1.0;
+
+  // ---- Storage ----
+  /// Disk scan rate (bytes/second); 0 means the database is memory
+  /// resident and scans are free (the paper's T3E setup buffers the data in
+  /// memory; the SP2 runs of Figure 12 read from disk).
+  double io_bandwidth = 0.0;
+  /// Candidates that fit in one processor's memory; when a pass exceeds
+  /// this, CD must partition its hash tree and rescan (Figure 12). 0 =
+  /// unbounded.
+  std::size_t memory_capacity_candidates = 0;
+
+  /// The paper's Cray T3E (Section V).
+  static MachineModel CrayT3E();
+  /// The paper's IBM SP2 with a disk-resident database (Figure 12).
+  static MachineModel IbmSp2();
+};
+
+}  // namespace pam
+
+#endif  // PAM_MODEL_MACHINE_H_

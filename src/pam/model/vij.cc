@@ -1,0 +1,43 @@
+#include "pam/model/vij.h"
+
+#include <cmath>
+
+namespace pam {
+
+double ExpectedDistinctLeaves(double num_potential_candidates,
+                              double num_leaves) {
+  const double i = num_potential_candidates;
+  const double j = num_leaves;
+  if (i <= 0.0 || j <= 0.0) return 0.0;
+  if (j <= 1.0) return 1.0;
+  // j * (1 - ((j-1)/j)^i) computed via expm1/log1p for stability when j is
+  // large (where (j-1)/j is close to 1).
+  const double log_ratio = std::log1p(-1.0 / j);
+  return -j * std::expm1(i * log_ratio);
+}
+
+double ExpectedDistinctLeavesRecurrence(
+    std::uint64_t num_potential_candidates, double num_leaves) {
+  if (num_potential_candidates == 0 || num_leaves <= 0.0) return 0.0;
+  if (num_leaves <= 1.0) return 1.0;
+  double v = 1.0;
+  const double keep = (num_leaves - 1.0) / num_leaves;
+  for (std::uint64_t i = 2; i <= num_potential_candidates; ++i) {
+    v = 1.0 + keep * v;
+  }
+  return v;
+}
+
+double BinomialCoefficient(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0.0;
+  if (k > n - k) k = n - k;
+  double result = 1.0;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    result *= static_cast<double>(n - k + i);
+    result /= static_cast<double>(i);
+    if (std::isinf(result)) return result;
+  }
+  return result;
+}
+
+}  // namespace pam

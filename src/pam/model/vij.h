@@ -1,0 +1,35 @@
+#ifndef PAM_MODEL_VIJ_H_
+#define PAM_MODEL_VIJ_H_
+
+#include <cstdint>
+
+namespace pam {
+
+/// The paper's Equation 1: V_{i,j}, the expected number of *distinct* leaf
+/// nodes visited when a transaction generates i potential candidates
+/// against a hash tree with j leaves (each traversal equally likely to
+/// reach any leaf):
+///
+///   V_{i,j} = (j^i - (j-1)^i) / j^(i-1)  =  j * (1 - ((j-1)/j)^i)
+///
+/// The closed form below uses the numerically stable right-hand expression.
+/// For j -> infinity, V_{i,j} -> i (the paper's Equation 2): every
+/// potential candidate reaches a fresh leaf when the tree dwarfs the
+/// transaction.
+double ExpectedDistinctLeaves(double num_potential_candidates,
+                              double num_leaves);
+
+/// The recurrence the closed form is derived from:
+///   V_{1,j} = 1;  V_{i,j} = 1 + (j-1)/j * V_{i-1,j}
+/// Used by tests to validate the closed form.
+double ExpectedDistinctLeavesRecurrence(std::uint64_t num_potential_candidates,
+                                        double num_leaves);
+
+/// Binomial coefficient C(n, k) as double (saturates gracefully for large
+/// inputs); the paper's C = (I choose k) potential-candidate count for a
+/// transaction with I items in pass k.
+double BinomialCoefficient(std::uint64_t n, std::uint64_t k);
+
+}  // namespace pam
+
+#endif  // PAM_MODEL_VIJ_H_

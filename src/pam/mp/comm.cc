@@ -1,0 +1,250 @@
+#include "pam/mp/comm.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "pam/util/types.h"
+
+namespace pam {
+namespace internal_mp {
+
+void Mailbox::Put(Envelope envelope) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(envelope));
+  }
+  cv_.notify_all();
+}
+
+Envelope Mailbox::Take(std::uint64_t comm_id, int src_world, int tag) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->comm_id == comm_id && it->tag == tag &&
+          (src_world == -1 || it->src_world == src_world)) {
+        Envelope out = std::move(*it);
+        queue_.erase(it);
+        return out;
+      }
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::TryTake(std::uint64_t comm_id, int src_world, int tag,
+                      Envelope* envelope) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->comm_id == comm_id && it->tag == tag &&
+        (src_world == -1 || it->src_world == src_world)) {
+      *envelope = std::move(*it);
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+WorldState::WorldState(int n)
+    : num_ranks(n),
+      mailboxes(static_cast<std::size_t>(n)),
+      bytes_sent(static_cast<std::size_t>(n)),
+      messages_sent(static_cast<std::size_t>(n)) {
+  for (auto& b : bytes_sent) b.store(0);
+  for (auto& m : messages_sent) m.store(0);
+}
+
+}  // namespace internal_mp
+
+namespace {
+
+// Reserved tag space for collectives so they never collide with user tags
+// (user tags must be < kCollectiveBase; all library call sites use small
+// positive tags).
+constexpr int kCollectiveBase = 0x40000000;
+constexpr int kBarrierToken = kCollectiveBase + 0;
+constexpr int kBarrierRelease = kCollectiveBase + 1;
+constexpr int kReduceTag = kCollectiveBase + 2;
+constexpr int kGatherTag = kCollectiveBase + 4;
+constexpr int kBcastTag = kCollectiveBase + 6;
+
+}  // namespace
+
+void Comm::Send(int dst, int tag, std::span<const std::byte> data) {
+  assert(dst >= 0 && dst < size());
+  assert(tag < kCollectiveBase || tag >= kCollectiveBase);
+  internal_mp::Envelope env;
+  env.comm_id = comm_id_;
+  env.src_world = WorldRankOf(rank_);
+  env.tag = tag;
+  env.data.assign(data.begin(), data.end());
+  const int dst_world = WorldRankOf(dst);
+  world_->bytes_sent[static_cast<std::size_t>(env.src_world)] += data.size();
+  world_->messages_sent[static_cast<std::size_t>(env.src_world)] += 1;
+  world_->mailboxes[static_cast<std::size_t>(dst_world)].Put(std::move(env));
+}
+
+std::vector<std::byte> Comm::Recv(int src, int tag, int* actual_src) {
+  const int src_world = src == -1 ? -1 : WorldRankOf(src);
+  internal_mp::Envelope env =
+      world_->mailboxes[static_cast<std::size_t>(WorldRankOf(rank_))].Take(
+          comm_id_, src_world, tag);
+  if (actual_src != nullptr) *actual_src = CommRankOfWorld(env.src_world);
+  return std::move(env.data);
+}
+
+bool Comm::TryRecv(int src, int tag, std::vector<std::byte>* data,
+                   int* actual_src) {
+  const int src_world = src == -1 ? -1 : WorldRankOf(src);
+  internal_mp::Envelope env;
+  if (!world_->mailboxes[static_cast<std::size_t>(WorldRankOf(rank_))]
+           .TryTake(comm_id_, src_world, tag, &env)) {
+    return false;
+  }
+  if (actual_src != nullptr) *actual_src = CommRankOfWorld(env.src_world);
+  *data = std::move(env.data);
+  return true;
+}
+
+RecvRequest Comm::Irecv(int src, int tag) {
+  RecvRequest req;
+  req.src_ = src;
+  req.tag_ = tag;
+  return req;
+}
+
+void Comm::Wait(RecvRequest& request) {
+  if (request.done_) return;
+  request.data_ = Recv(request.src_, request.tag_);
+  request.done_ = true;
+}
+
+void Comm::Barrier() {
+  if (size() == 1) return;
+  const std::byte token{0};
+  if (rank_ == 0) {
+    for (int r = 1; r < size(); ++r) {
+      (void)Recv(r, kBarrierToken);
+    }
+    for (int r = 1; r < size(); ++r) {
+      Send(r, kBarrierRelease, std::span<const std::byte>(&token, 1));
+    }
+  } else {
+    Send(0, kBarrierToken, std::span<const std::byte>(&token, 1));
+    (void)Recv(0, kBarrierRelease);
+  }
+}
+
+void Comm::AllReduceSum(std::span<std::uint64_t> inout) {
+  const int p = size();
+  if (p == 1) return;
+  auto as_bytes = [](std::span<std::uint64_t> s) {
+    return std::span<const std::byte>(
+        reinterpret_cast<const std::byte*>(s.data()),
+        s.size() * sizeof(std::uint64_t));
+  };
+
+  // Recursive doubling when the group is a power of two: log2(P) exchange
+  // stages, each moving the whole vector — the schedule the cost model
+  // charges for the paper's "global reduction".
+  if ((p & (p - 1)) == 0) {
+    for (int mask = 1; mask < p; mask <<= 1) {
+      const int partner = rank_ ^ mask;
+      // Stagger send/recv by rank order to keep pairings unambiguous.
+      Send(partner, kReduceTag, as_bytes(inout));
+      std::vector<std::byte> raw = Recv(partner, kReduceTag);
+      assert(raw.size() == inout.size() * sizeof(std::uint64_t));
+      const auto* vals = reinterpret_cast<const std::uint64_t*>(raw.data());
+      for (std::size_t i = 0; i < inout.size(); ++i) inout[i] += vals[i];
+    }
+    return;
+  }
+
+  // General group sizes: gather to the group root, sum, broadcast back.
+  if (rank_ == 0) {
+    for (int r = 1; r < p; ++r) {
+      std::vector<std::byte> raw = Recv(r, kReduceTag);
+      assert(raw.size() == inout.size() * sizeof(std::uint64_t));
+      const auto* vals = reinterpret_cast<const std::uint64_t*>(raw.data());
+      for (std::size_t i = 0; i < inout.size(); ++i) inout[i] += vals[i];
+    }
+    for (int r = 1; r < p; ++r) {
+      Send(r, kBcastTag, as_bytes(inout));
+    }
+  } else {
+    Send(0, kReduceTag, as_bytes(inout));
+    std::vector<std::byte> raw = Recv(0, kBcastTag);
+    std::memcpy(inout.data(), raw.data(), raw.size());
+  }
+}
+
+std::vector<std::vector<std::byte>> Comm::AllGather(
+    std::span<const std::byte> mine) {
+  const int p = size();
+  std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(p));
+  out[static_cast<std::size_t>(rank_)].assign(mine.begin(), mine.end());
+  if (p == 1) return out;
+
+  // Ring all-gather (the paper's "all-to-all broadcast" from [9]): P-1
+  // steps; at step s every rank forwards the block it received at step
+  // s-1 (starting from its own) to its right neighbor. Total traffic per
+  // rank equals the sum of all blocks, with no contention.
+  int incoming_owner = rank_;
+  for (int step = 0; step < p - 1; ++step) {
+    const std::vector<std::byte>& to_send =
+        out[static_cast<std::size_t>(incoming_owner)];
+    Isend(RightNeighbor(), kGatherTag,
+          std::span<const std::byte>(to_send.data(), to_send.size()));
+    incoming_owner = (incoming_owner + p - 1) % p;
+    out[static_cast<std::size_t>(incoming_owner)] =
+        Recv(LeftNeighbor(), kGatherTag);
+  }
+  return out;
+}
+
+std::vector<std::byte> Comm::Bcast(int root,
+                                   std::span<const std::byte> data) {
+  if (size() == 1) return std::vector<std::byte>(data.begin(), data.end());
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r != root) Send(r, kBcastTag, data);
+    }
+    return std::vector<std::byte>(data.begin(), data.end());
+  }
+  return Recv(root, kBcastTag);
+}
+
+Comm Comm::Sub(const std::vector<int>& member_ranks,
+               std::uint64_t label) const {
+  std::vector<int> world_members;
+  world_members.reserve(member_ranks.size());
+  int my_new_rank = -1;
+  for (std::size_t i = 0; i < member_ranks.size(); ++i) {
+    assert(member_ranks[i] >= 0 && member_ranks[i] < size());
+    world_members.push_back(WorldRankOf(member_ranks[i]));
+    if (member_ranks[i] == rank_) my_new_rank = static_cast<int>(i);
+  }
+  assert(my_new_rank >= 0 && "Sub() caller must be a member");
+
+  // Deterministic id: every member computes the same hash locally.
+  std::uint64_t id = comm_id_ * 0x9e3779b97f4a7c15ULL + label;
+  for (int w : world_members) {
+    id ^= static_cast<std::uint64_t>(w) + 0x9e3779b97f4a7c15ULL +
+          (id << 6) + (id >> 2);
+  }
+  return Comm(world_, id, std::move(world_members), my_new_rank);
+}
+
+int Comm::CommRankOfWorld(int world_rank) const {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i] == world_rank) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::uint64_t Comm::MyBytesSent() const {
+  return world_->bytes_sent[static_cast<std::size_t>(WorldRankOf(rank_))]
+      .load();
+}
+
+}  // namespace pam

@@ -1,0 +1,188 @@
+#ifndef PAM_MP_COMM_H_
+#define PAM_MP_COMM_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace pam {
+
+/// Thread-backed message-passing substrate with MPI-like semantics. This is
+/// the repository's stand-in for the MPI layer of the paper's Cray T3E /
+/// IBM SP2: point-to-point sends/receives (with the non-blocking
+/// Isend/Irecv/Waitall shapes used by the Figure 6 ring pipeline), global
+/// reduction, all-gather, broadcast, barriers, and sub-communicators for
+/// the HD processor grid's rows and columns.
+///
+/// Sends are buffered (they deposit into the destination's mailbox and
+/// return), so programs cannot deadlock on finite communication buffers;
+/// the cost model charges DD's finite-buffer idling analytically instead.
+/// Message order is FIFO per (source, communicator, tag).
+
+namespace internal_mp {
+
+struct Envelope {
+  std::uint64_t comm_id = 0;
+  int src_world = 0;
+  int tag = 0;
+  std::vector<std::byte> data;
+};
+
+/// One rank's incoming message queue.
+class Mailbox {
+ public:
+  void Put(Envelope envelope);
+  /// Removes and returns the first message matching (comm_id, src, tag);
+  /// src == -1 matches any source. Blocks until one arrives.
+  Envelope Take(std::uint64_t comm_id, int src_world, int tag);
+
+  /// Non-blocking Take: returns false if no matching message is queued.
+  bool TryTake(std::uint64_t comm_id, int src_world, int tag,
+               Envelope* envelope);
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Envelope> queue_;
+};
+
+/// State shared by every rank of one Runtime: mailboxes and traffic
+/// counters.
+struct WorldState {
+  explicit WorldState(int num_ranks);
+  const int num_ranks;
+  std::vector<Mailbox> mailboxes;
+  std::vector<std::atomic<std::uint64_t>> bytes_sent;
+  std::vector<std::atomic<std::uint64_t>> messages_sent;
+};
+
+}  // namespace internal_mp
+
+/// Handle for a pending non-blocking receive. Obtained from Comm::Irecv and
+/// completed by Comm::Wait.
+class RecvRequest {
+ public:
+  /// The received payload; valid after Comm::Wait returned.
+  std::vector<std::byte>& data() { return data_; }
+
+ private:
+  friend class Comm;
+  int src_ = -1;
+  int tag_ = 0;
+  bool done_ = false;
+  std::vector<std::byte> data_;
+};
+
+/// A communicator: a rank's endpoint within a group of ranks. The world
+/// communicator is handed to each rank by Runtime::Run; sub-communicators
+/// are created with Sub(). Copyable (cheap; shares world state).
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(members_.size()); }
+
+  // ---- Point to point ------------------------------------------------
+
+  /// Blocking-buffered send of raw bytes to rank `dst` of this comm.
+  void Send(int dst, int tag, std::span<const std::byte> data);
+  /// Receives a message from `src` (-1 = any member) with tag `tag`.
+  /// If `actual_src` is non-null it receives the sender's comm rank.
+  std::vector<std::byte> Recv(int src, int tag, int* actual_src = nullptr);
+
+  /// Non-blocking receive: returns true and fills `data` if a matching
+  /// message was already queued. DD uses this to process remote pages as
+  /// they arrive while still generating its own sends.
+  bool TryRecv(int src, int tag, std::vector<std::byte>* data,
+               int* actual_src = nullptr);
+
+  /// Non-blocking send (completes immediately; sends are buffered).
+  void Isend(int dst, int tag, std::span<const std::byte> data) {
+    Send(dst, tag, data);
+  }
+  /// Posts a non-blocking receive; complete it with Wait().
+  RecvRequest Irecv(int src, int tag);
+  /// Blocks until the request's message has been received into data().
+  void Wait(RecvRequest& request);
+
+  /// Typed conveniences (trivially copyable element types only).
+  template <typename T>
+  void SendVec(int dst, int tag, const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Send(dst, tag,
+         std::span<const std::byte>(
+             reinterpret_cast<const std::byte*>(v.data()),
+             v.size() * sizeof(T)));
+  }
+  template <typename T>
+  std::vector<T> RecvVec(int src, int tag, int* actual_src = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> raw = Recv(src, tag, actual_src);
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), out.size() * sizeof(T));
+    return out;
+  }
+
+  // ---- Collectives (must be called by every member) --------------------
+
+  /// Synchronizes all members.
+  void Barrier();
+
+  /// Element-wise sum of `inout` across all members; every member ends up
+  /// with the reduced array (the paper's "global reduction" used by CD and
+  /// by HD along grid rows).
+  void AllReduceSum(std::span<std::uint64_t> inout);
+
+  /// Gathers each member's byte blob; every member receives all blobs
+  /// indexed by comm rank (the "all-to-all broadcast" used to exchange
+  /// frequent itemsets in DD/IDD and along HD grid columns).
+  std::vector<std::vector<std::byte>> AllGather(
+      std::span<const std::byte> mine);
+
+  /// Broadcasts `data` from `root` to all members; returns the data on all.
+  std::vector<std::byte> Bcast(int root, std::span<const std::byte> data);
+
+  // ---- Topology --------------------------------------------------------
+
+  /// Creates a sub-communicator containing `member_ranks` (ranks of *this*
+  /// comm, which must include rank()). Every listed member must call Sub
+  /// with the same list and label. Purely local: comm ids derive
+  /// deterministically from (parent id, label, members).
+  Comm Sub(const std::vector<int>& member_ranks, std::uint64_t label) const;
+
+  /// Ring neighbors within this comm (IDD's logical ring of Section III-C).
+  int RightNeighbor() const { return (rank_ + 1) % size(); }
+  int LeftNeighbor() const { return (rank_ + size() - 1) % size(); }
+
+  /// Total bytes this world rank has sent so far (all comms).
+  std::uint64_t MyBytesSent() const;
+
+ private:
+  friend class Runtime;
+  Comm(std::shared_ptr<internal_mp::WorldState> world, std::uint64_t comm_id,
+       std::vector<int> members, int rank)
+      : world_(std::move(world)),
+        comm_id_(comm_id),
+        members_(std::move(members)),
+        rank_(rank) {}
+
+  int WorldRankOf(int comm_rank) const {
+    return members_[static_cast<std::size_t>(comm_rank)];
+  }
+  int CommRankOfWorld(int world_rank) const;
+
+  std::shared_ptr<internal_mp::WorldState> world_;
+  std::uint64_t comm_id_ = 0;
+  std::vector<int> members_;  // comm rank -> world rank
+  int rank_ = 0;              // my comm rank
+};
+
+}  // namespace pam
+
+#endif  // PAM_MP_COMM_H_

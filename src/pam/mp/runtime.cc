@@ -1,0 +1,43 @@
+#include "pam/mp/runtime.h"
+
+#include <cassert>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace pam {
+
+Runtime::Runtime(int num_ranks)
+    : num_ranks_(num_ranks),
+      world_(std::make_shared<internal_mp::WorldState>(num_ranks)) {
+  assert(num_ranks >= 1);
+}
+
+void Runtime::Run(const std::function<void(Comm&)>& rank_main) {
+  std::vector<int> members(static_cast<std::size_t>(num_ranks_));
+  std::iota(members.begin(), members.end(), 0);
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_ranks_));
+  for (int r = 0; r < num_ranks_; ++r) {
+    threads.emplace_back([this, &rank_main, &members, r] {
+      Comm comm(world_, /*comm_id=*/1, members, r);
+      rank_main(comm);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+std::uint64_t Runtime::TotalBytesSent() const {
+  std::uint64_t total = 0;
+  for (const auto& b : world_->bytes_sent) total += b.load();
+  return total;
+}
+
+std::uint64_t Runtime::TotalMessagesSent() const {
+  std::uint64_t total = 0;
+  for (const auto& m : world_->messages_sent) total += m.load();
+  return total;
+}
+
+}  // namespace pam

@@ -1,0 +1,51 @@
+#ifndef PAM_PARALLEL_ALGORITHMS_H_
+#define PAM_PARALLEL_ALGORITHMS_H_
+
+#include <string>
+#include <vector>
+
+#include "pam/mp/comm.h"
+#include "pam/parallel/common.h"
+#include "pam/parallel/metrics.h"
+#include "pam/tdb/database.h"
+
+namespace pam {
+
+/// The parallel formulations implemented by this repository
+/// (paper Section III). kDDComm is the paper's "DD+comm" ablation:
+/// DD's round-robin candidate partition combined with IDD's ring-based
+/// data movement (Figure 10 uses it to attribute IDD's win over DD to its
+/// two separate improvements). kHPA is the hash-partitioned algorithm of
+/// Shintani & Kitsuregawa that Section III-E contrasts with IDD:
+/// candidates are owned by hash, and every k-subset of every transaction
+/// is shipped to the owner's processor — communication grows as
+/// O(|t| choose k) per transaction instead of IDD's O(|t|).
+enum class Algorithm { kCD, kDD, kDDComm, kIDD, kHD, kHPA };
+
+/// Short display name ("CD", "DD", "DD+comm", "IDD", "HD").
+std::string AlgorithmName(Algorithm algorithm);
+
+/// What one rank returns from a run. All ranks compute identical frequent
+/// itemsets; the driver keeps rank 0's copy.
+struct RankOutput {
+  FrequentItemsets frequent;
+  std::vector<PassMetrics> passes;
+};
+
+/// Rank programs. Each must be executed by every rank of `comm` (the
+/// driver wires them into Runtime::Run); `db` is the shared read-only
+/// database, of which this rank mines slice RankSlice(rank, size).
+RankOutput RunCdRank(const TransactionDatabase& db, Comm& comm,
+                     const ParallelConfig& config);
+RankOutput RunDdRank(const TransactionDatabase& db, Comm& comm,
+                     const ParallelConfig& config, bool ring_movement);
+RankOutput RunIddRank(const TransactionDatabase& db, Comm& comm,
+                      const ParallelConfig& config);
+RankOutput RunHdRank(const TransactionDatabase& db, Comm& comm,
+                     const ParallelConfig& config);
+RankOutput RunHpaRank(const TransactionDatabase& db, Comm& comm,
+                      const ParallelConfig& config);
+
+}  // namespace pam
+
+#endif  // PAM_PARALLEL_ALGORITHMS_H_

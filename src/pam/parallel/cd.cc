@@ -1,0 +1,93 @@
+#include <numeric>
+
+#include "pam/core/apriori_gen.h"
+#include "pam/parallel/algorithms.h"
+#include "pam/util/timer.h"
+
+namespace pam {
+
+// Count Distribution (paper Section III-A, Figure 4): every rank holds the
+// full candidate hash tree, counts over its local N/P transactions, and the
+// global counts are formed by one global reduction. When the candidate set
+// exceeds the configured memory cap, the tree is partitioned and the local
+// transactions are re-scanned once per partition — the behaviour Figure 12
+// charges with extra I/O.
+RankOutput RunCdRank(const TransactionDatabase& db, Comm& comm,
+                     const ParallelConfig& config) {
+  using parallel_internal::ParallelPass1;
+
+  RankOutput out;
+  const TransactionDatabase::Slice slice =
+      db.RankSlice(comm.rank(), comm.size());
+  const Count minsup = config.apriori.ResolveMinsup(db.size());
+  std::vector<Count> dhp_buckets;  // PDM-style DHP filter state (optional)
+  const std::size_t cap = config.apriori.max_candidates_in_memory;
+
+  {
+    WallTimer timer;
+    PassMetrics m;
+    m.grid_cols = comm.size();
+    ItemsetCollection f1 = ParallelPass1(db, slice, comm, minsup, &m,
+                                         &config, &dhp_buckets);
+    m.wall_seconds = timer.Seconds();
+    out.passes.push_back(m);
+    out.frequent.levels.push_back(std::move(f1));
+  }
+
+  for (int k = 2; config.apriori.max_k == 0 || k <= config.apriori.max_k;
+       ++k) {
+    const ItemsetCollection& prev = out.frequent.levels.back();
+    if (prev.size() < 2) break;
+    WallTimer timer;
+    PassMetrics m;
+    m.k = k;
+    m.local_db_wire_bytes = db.WireBytes(slice);
+    m.grid_cols = comm.size();
+
+    ItemsetCollection candidates =
+        parallel_internal::GenerateCandidates(prev, k, dhp_buckets, minsup);
+    const std::size_t num_candidates = candidates.size();
+    if (num_candidates == 0) break;
+    m.num_candidates_global = num_candidates;
+    m.num_candidates_local = num_candidates;
+    m.transactions_processed = slice.size();
+
+    const std::size_t chunk_cap = cap == 0 ? num_candidates : cap;
+    const std::size_t num_chunks =
+        (num_candidates + chunk_cap - 1) / chunk_cap;
+    m.db_scans = num_chunks;
+
+    std::vector<Count> counts(num_candidates, 0);
+    for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      const std::size_t lo = chunk * chunk_cap;
+      const std::size_t hi = std::min(num_candidates, lo + chunk_cap);
+      std::vector<std::uint32_t> ids(hi - lo);
+      std::iota(ids.begin(), ids.end(), static_cast<std::uint32_t>(lo));
+      HashTree tree(candidates, std::move(ids), config.apriori.tree);
+      m.tree_build_inserts += tree.build_inserts();
+      for (std::size_t t = slice.begin; t < slice.end; ++t) {
+        tree.Subset(db.Transaction(t), std::span<Count>(counts), &m.subset);
+      }
+      // Global reduction of this chunk's counts (the paper reduces per
+      // hash-tree partition when memory-capped).
+      comm.AllReduceSum(
+          std::span<std::uint64_t>(counts.data() + lo, hi - lo));
+      m.reduction_words += hi - lo;
+    }
+
+    candidates.counts() = std::move(counts);
+    candidates.PruneBelow(minsup);
+    m.num_frequent_global = candidates.size();
+    m.wall_seconds = timer.Seconds();
+    out.passes.push_back(m);
+    if (candidates.empty()) break;
+    out.frequent.levels.push_back(std::move(candidates));
+  }
+
+  while (!out.frequent.levels.empty() && out.frequent.levels.back().empty()) {
+    out.frequent.levels.pop_back();
+  }
+  return out;
+}
+
+}  // namespace pam

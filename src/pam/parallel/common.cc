@@ -1,0 +1,150 @@
+#include "pam/parallel/common.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "pam/core/apriori_gen.h"
+
+namespace pam {
+namespace parallel_internal {
+
+ItemsetCollection ParallelPass1(const TransactionDatabase& db,
+                                TransactionDatabase::Slice slice, Comm& comm,
+                                Count minsup, PassMetrics* metrics,
+                                const ParallelConfig* config,
+                                std::vector<Count>* dhp_buckets) {
+  std::vector<Count> counts = CountItems(db, slice, db.NumItems());
+  comm.AllReduceSum(std::span<std::uint64_t>(counts));
+  if (metrics != nullptr) {
+    metrics->k = 1;
+    metrics->num_candidates_global = counts.size();
+    metrics->num_candidates_local = counts.size();
+    metrics->reduction_words = counts.size();
+    metrics->transactions_processed = slice.size();
+  }
+  if (dhp_buckets != nullptr && config != nullptr &&
+      config->apriori.dhp_buckets > 0) {
+    *dhp_buckets = CountPairBuckets(db, slice, config->apriori.dhp_buckets);
+    comm.AllReduceSum(std::span<std::uint64_t>(*dhp_buckets));
+    if (metrics != nullptr) metrics->reduction_words += dhp_buckets->size();
+  }
+  ItemsetCollection f1 = MakeF1(counts, minsup);
+  if (metrics != nullptr) metrics->num_frequent_global = f1.size();
+  return f1;
+}
+
+ItemsetCollection GenerateCandidates(const ItemsetCollection& prev, int k,
+                                     const std::vector<Count>& dhp_buckets,
+                                     Count minsup) {
+  ItemsetCollection candidates = AprioriGen(prev);
+  if (k == 2 && !dhp_buckets.empty()) {
+    candidates = FilterByBuckets(candidates, dhp_buckets, minsup);
+  }
+  return candidates;
+}
+
+ItemsetCollection ExchangeFrequent(Comm& comm, const ItemsetCollection& sets,
+                                   std::uint64_t* broadcast_words) {
+  const std::vector<std::uint64_t> mine = sets.Serialize();
+  if (broadcast_words != nullptr) *broadcast_words += mine.size();
+  auto blobs = comm.AllGather(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(mine.data()),
+      mine.size() * sizeof(std::uint64_t)));
+
+  ItemsetCollection merged(sets.k());
+  for (const auto& blob : blobs) {
+    const auto* words = reinterpret_cast<const std::uint64_t*>(blob.data());
+    const std::size_t num_words = blob.size() / sizeof(std::uint64_t);
+    ItemsetCollection part =
+        ItemsetCollection::Deserialize(words, num_words);
+    assert(part.k() == sets.k());
+    for (std::size_t i = 0; i < part.size(); ++i) {
+      merged.AddWithCount(part.Get(i), part.count(i));
+    }
+  }
+  merged.SortLexicographic();
+  assert(merged.IsSortedUnique() && "frequent partitions must be disjoint");
+  return merged;
+}
+
+ItemsetCollection FrequentSubset(const ItemsetCollection& candidates,
+                                 const std::vector<std::uint32_t>& owned_ids,
+                                 Count minsup) {
+  ItemsetCollection frequent(candidates.k());
+  for (std::uint32_t id : owned_ids) {
+    if (candidates.count(id) >= minsup) {
+      frequent.AddWithCount(candidates.Get(id), candidates.count(id));
+    }
+  }
+  return frequent;
+}
+
+std::uint64_t RingShiftAll(
+    Comm& comm, const std::vector<Page>& local_pages,
+    const std::function<void(const Page&)>& process,
+    std::uint64_t* messages_sent) {
+  const int p = comm.size();
+  if (p == 1) {
+    for (const Page& page : local_pages) process(page);
+    return 0;
+  }
+
+  // Agree on a common round count (max pages over members); short ranks
+  // pad with empty pages so the pipeline stays in lockstep.
+  std::uint64_t my_pages = local_pages.size();
+  const std::uint64_t pages_word = my_pages;
+  auto blobs = comm.AllGather(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(&pages_word), sizeof(pages_word)));
+  std::uint64_t rounds = 0;
+  for (const auto& blob : blobs) {
+    std::uint64_t v = 0;
+    std::memcpy(&v, blob.data(), sizeof(v));
+    rounds = std::max(rounds, v);
+  }
+
+  std::uint64_t bytes_sent = 0;
+  const Page empty_page;
+  Page sbuf;
+  Page rbuf;
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    // FillBuffer(fd, SBuf): next local page (or padding).
+    sbuf = round < my_pages ? local_pages[round] : empty_page;
+    // for (k = 0; k < P-1; ++k) { Irecv(left); Isend(right);
+    //   Subset(SBuf); Waitall(); swap(SBuf, RBuf); }
+    for (int step = 0; step < p - 1; ++step) {
+      RecvRequest req = comm.Irecv(comm.LeftNeighbor(), kTagRingData);
+      comm.Isend(comm.RightNeighbor(), kTagRingData,
+                 std::span<const std::byte>(
+                     reinterpret_cast<const std::byte*>(sbuf.data()),
+                     sbuf.size() * sizeof(std::uint32_t)));
+      bytes_sent += sbuf.size() * sizeof(std::uint32_t);
+      if (messages_sent != nullptr) ++*messages_sent;
+      if (!sbuf.empty()) process(sbuf);
+      comm.Wait(req);
+      rbuf.assign(
+          reinterpret_cast<const std::uint32_t*>(req.data().data()),
+          reinterpret_cast<const std::uint32_t*>(req.data().data() +
+                                                 req.data().size()));
+      std::swap(sbuf, rbuf);
+    }
+    // Final buffer (originating P-1 hops away).
+    if (!sbuf.empty()) process(sbuf);
+  }
+  return bytes_sent;
+}
+
+int ChooseGridRows(std::size_t num_candidates, std::size_t threshold_m,
+                   int num_ranks) {
+  if (threshold_m == 0 || num_candidates < threshold_m) return 1;
+  const std::size_t want =
+      (num_candidates + threshold_m - 1) / threshold_m;  // ceil(M / m)
+  if (want >= static_cast<std::size_t>(num_ranks)) return num_ranks;
+  // Smallest divisor of P that is >= want.
+  for (int g = static_cast<int>(want); g <= num_ranks; ++g) {
+    if (num_ranks % g == 0) return g;
+  }
+  return num_ranks;
+}
+
+}  // namespace parallel_internal
+}  // namespace pam

@@ -1,0 +1,103 @@
+#ifndef PAM_PARALLEL_COMMON_H_
+#define PAM_PARALLEL_COMMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pam/core/candidate_partition.h"
+#include "pam/core/serial_apriori.h"
+#include "pam/mp/comm.h"
+#include "pam/parallel/metrics.h"
+#include "pam/tdb/database.h"
+#include "pam/tdb/page_buffer.h"
+
+namespace pam {
+
+/// Parameters for the parallel formulations, extending the mining knobs of
+/// AprioriConfig.
+struct ParallelConfig {
+  /// Shared mining parameters (minsup, tree shape, max_k, memory cap).
+  AprioriConfig apriori;
+  /// Wire page size for the DD all-to-all and the IDD/HD ring pipeline
+  /// (the paper moves the database "one page at a time").
+  std::size_t page_bytes = 16 * 1024;
+  /// HD's user threshold m: minimum candidates per candidate-partition;
+  /// G = smallest divisor of P that is >= ceil(M / m), capped at P
+  /// (paper Table II uses m = 50K on 64 processors).
+  std::size_t hd_threshold_m = 50000;
+  /// When > 0, pin HD's grid rows G to the smallest divisor of P that is
+  /// >= this value instead of deriving G from hd_threshold_m — the paper
+  /// pins 8x2 / 8x4 / 8x8 grids in its Figure 13 speedup runs.
+  int hd_forced_rows = 0;
+  /// IDD first-item packing strategy (bin-packed vs contiguous ablation).
+  PrefixStrategy prefix_strategy = PrefixStrategy::kBinPacked;
+  /// Disable to measure IDD without root bitmap filtering (ablation).
+  bool idd_use_bitmap = true;
+  /// Split first-items owning more than M/P candidates across parts
+  /// (paper's skew refinement).
+  bool split_heavy_prefixes = true;
+  /// Single-source mode for IDD (paper Section VI: "when all the data is
+  /// coming from a database server or a single file system, one processor
+  /// can read data from the single source and pass the data along the
+  /// communication pipeline"): the whole database resides on rank 0, which
+  /// feeds the ring; the other ranks hold no local transactions. Only
+  /// honored by the IDD formulation.
+  bool single_source = false;
+};
+
+/// Message tags used by the algorithm implementations (all below the
+/// collective-reserved range).
+inline constexpr int kTagRingData = 1;
+inline constexpr int kTagDdPage = 2;
+inline constexpr int kTagHpaSubsets = 3;
+
+namespace parallel_internal {
+
+/// Pass 1, common to every formulation: count items over the local slice,
+/// globally reduce, build F_1 (identical on every rank). When
+/// `dhp_buckets` is non-null and config.apriori.dhp_buckets > 0, the same
+/// scan hashes every local transaction pair into buckets and reduces them
+/// globally (the PDM-style DHP filter; every rank ends with identical
+/// buckets).
+ItemsetCollection ParallelPass1(const TransactionDatabase& db,
+                                TransactionDatabase::Slice slice, Comm& comm,
+                                Count minsup, PassMetrics* metrics,
+                                const ParallelConfig* config = nullptr,
+                                std::vector<Count>* dhp_buckets = nullptr);
+
+/// apriori_gen plus the optional DHP filter at k == 2. All ranks call
+/// this with identical inputs and obtain identical candidate sets.
+ItemsetCollection GenerateCandidates(const ItemsetCollection& prev, int k,
+                                     const std::vector<Count>& dhp_buckets,
+                                     Count minsup);
+
+/// Serializes `sets`, all-gathers across `comm`, and returns the
+/// lexicographically sorted union (partitions must be disjoint). Adds the
+/// exchanged words to `broadcast_words`.
+ItemsetCollection ExchangeFrequent(Comm& comm, const ItemsetCollection& sets,
+                                   std::uint64_t* broadcast_words);
+
+/// Builds the frequent subset of `candidates` restricted to `owned_ids`
+/// (candidates whose global count is already in candidates.counts()).
+ItemsetCollection FrequentSubset(const ItemsetCollection& candidates,
+                                 const std::vector<std::uint32_t>& owned_ids,
+                                 Count minsup);
+
+/// Runs the Figure-6 ring pipeline over this rank's pages within `comm`:
+/// every page of every member circulates through all members; `process` is
+/// invoked for each page (own pages included). Rounds are padded with empty
+/// pages so ranks with fewer pages stay in lockstep. Returns bytes sent.
+std::uint64_t RingShiftAll(
+    Comm& comm, const std::vector<Page>& local_pages,
+    const std::function<void(const Page&)>& process,
+    std::uint64_t* messages_sent);
+
+/// HD grid-rows choice: 1 if M < m, else the smallest divisor of P that is
+/// >= ceil(M / m) (capped at P).
+int ChooseGridRows(std::size_t num_candidates, std::size_t threshold_m,
+                   int num_ranks);
+
+}  // namespace parallel_internal
+}  // namespace pam
+
+#endif  // PAM_PARALLEL_COMMON_H_

@@ -1,0 +1,166 @@
+#include <cstring>
+
+#include "pam/core/apriori_gen.h"
+#include "pam/parallel/algorithms.h"
+#include "pam/util/timer.h"
+
+namespace pam {
+namespace {
+
+using parallel_internal::ExchangeFrequent;
+using parallel_internal::FrequentSubset;
+using parallel_internal::ParallelPass1;
+using parallel_internal::RingShiftAll;
+
+Page PageFromBytes(const std::vector<std::byte>& raw) {
+  Page page(raw.size() / sizeof(std::uint32_t));
+  std::memcpy(page.data(), raw.data(), raw.size());
+  return page;
+}
+
+// DD's data movement (paper Section III-B): every rank pushes each of its
+// local pages to every other rank with P-1 point-to-point sends, receiving
+// and processing remote pages as they arrive. The communication volume per
+// rank is (P-1) * N/P sent and received; on real sparse networks this
+// pattern additionally suffers contention, which the cost model charges
+// analytically (our mailboxes are unbounded, so the finite-buffer idling
+// the paper describes cannot physically deadlock here).
+void DdAllToAllMovement(Comm& comm, const std::vector<Page>& local_pages,
+                        const std::function<void(const Page&)>& process,
+                        PassMetrics* metrics) {
+  const int p = comm.size();
+  if (p == 1) {
+    for (const Page& page : local_pages) process(page);
+    return;
+  }
+
+  // Exchange page counts so every rank knows how many remote pages to
+  // expect in total.
+  std::uint64_t mine = local_pages.size();
+  auto blobs = comm.AllGather(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(&mine), sizeof(mine)));
+  std::uint64_t expected_remote = 0;
+  for (int r = 0; r < p; ++r) {
+    if (r == comm.rank()) continue;
+    std::uint64_t v = 0;
+    std::memcpy(&v, blobs[static_cast<std::size_t>(r)].data(), sizeof(v));
+    expected_remote += v;
+  }
+
+  std::uint64_t received = 0;
+  std::vector<std::byte> raw;
+  for (const Page& page : local_pages) {
+    const auto bytes = std::span<const std::byte>(
+        reinterpret_cast<const std::byte*>(page.data()),
+        page.size() * sizeof(std::uint32_t));
+    for (int r = 0; r < p; ++r) {
+      if (r == comm.rank()) continue;
+      comm.Isend(r, kTagDdPage, bytes);
+      if (metrics != nullptr) {
+        metrics->data_bytes_sent += bytes.size();
+        ++metrics->data_messages_sent;
+      }
+    }
+    process(page);
+    // Drain whatever remote pages already arrived (ties broken in favor of
+    // other processors' buffers, as in the paper).
+    while (received < expected_remote &&
+           comm.TryRecv(-1, kTagDdPage, &raw)) {
+      ++received;
+      process(PageFromBytes(raw));
+    }
+  }
+  while (received < expected_remote) {
+    raw = comm.Recv(-1, kTagDdPage);
+    ++received;
+    process(PageFromBytes(raw));
+  }
+}
+
+}  // namespace
+
+// Data Distribution (paper Section III-B, Figure 5) and its "DD+comm"
+// variant (Figure 10) that swaps the all-to-all page movement for IDD's
+// ring pipeline while keeping the round-robin candidate partition (and
+// hence DD's redundant subset work).
+RankOutput RunDdRank(const TransactionDatabase& db, Comm& comm,
+                     const ParallelConfig& config, bool ring_movement) {
+  RankOutput out;
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const TransactionDatabase::Slice slice = db.RankSlice(rank, p);
+  const Count minsup = config.apriori.ResolveMinsup(db.size());
+  std::vector<Count> dhp_buckets;  // PDM-style DHP filter state (optional)
+
+  {
+    WallTimer timer;
+    PassMetrics m;
+    ItemsetCollection f1 = ParallelPass1(db, slice, comm, minsup, &m,
+                                         &config, &dhp_buckets);
+    m.wall_seconds = timer.Seconds();
+    out.passes.push_back(m);
+    out.frequent.levels.push_back(std::move(f1));
+  }
+
+  for (int k = 2; config.apriori.max_k == 0 || k <= config.apriori.max_k;
+       ++k) {
+    const ItemsetCollection& prev = out.frequent.levels.back();
+    if (prev.size() < 2) break;
+    WallTimer timer;
+    PassMetrics m;
+    m.k = k;
+    m.local_db_wire_bytes = db.WireBytes(slice);
+    m.grid_rows = p;
+
+    // Every rank regenerates the full candidate set, then keeps its
+    // round-robin share in its hash tree.
+    ItemsetCollection candidates =
+        parallel_internal::GenerateCandidates(prev, k, dhp_buckets, minsup);
+    if (candidates.empty()) break;
+    m.num_candidates_global = candidates.size();
+    CandidatePartition partition =
+        PartitionRoundRobin(candidates.size(), p);
+    std::vector<std::uint32_t> my_ids =
+        partition.ids_per_part[static_cast<std::size_t>(rank)];
+    m.num_candidates_local = my_ids.size();
+
+    HashTree tree(candidates, my_ids, config.apriori.tree);
+    m.tree_build_inserts = tree.build_inserts();
+
+    std::vector<Count> counts(candidates.size(), 0);
+    auto process = [&](const Page& page) {
+      ForEachTransaction(page, [&](ItemSpan tx) {
+        tree.Subset(tx, std::span<Count>(counts), &m.subset);
+        ++m.transactions_processed;
+      });
+    };
+    const std::vector<Page> local_pages =
+        Paginate(db, slice, config.page_bytes);
+    if (ring_movement) {
+      m.data_bytes_sent +=
+          RingShiftAll(comm, local_pages, process, &m.data_messages_sent);
+    } else {
+      DdAllToAllMovement(comm, local_pages, process, &m);
+    }
+
+    // Counts of owned candidates are complete (every transaction passed
+    // through this rank): select local frequent sets and exchange them.
+    candidates.counts() = std::move(counts);
+    ItemsetCollection local_frequent =
+        FrequentSubset(candidates, my_ids, minsup);
+    ItemsetCollection frequent =
+        ExchangeFrequent(comm, local_frequent, &m.broadcast_words);
+    m.num_frequent_global = frequent.size();
+    m.wall_seconds = timer.Seconds();
+    out.passes.push_back(m);
+    if (frequent.empty()) break;
+    out.frequent.levels.push_back(std::move(frequent));
+  }
+
+  while (!out.frequent.levels.empty() && out.frequent.levels.back().empty()) {
+    out.frequent.levels.pop_back();
+  }
+  return out;
+}
+
+}  // namespace pam

@@ -1,0 +1,83 @@
+#include "pam/parallel/driver.h"
+
+#include <cassert>
+#include <vector>
+
+#include "pam/mp/runtime.h"
+#include "pam/util/timer.h"
+
+namespace pam {
+
+std::string AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kCD:
+      return "CD";
+    case Algorithm::kDD:
+      return "DD";
+    case Algorithm::kDDComm:
+      return "DD+comm";
+    case Algorithm::kIDD:
+      return "IDD";
+    case Algorithm::kHD:
+      return "HD";
+    case Algorithm::kHPA:
+      return "HPA";
+  }
+  return "?";
+}
+
+ParallelResult MineParallel(Algorithm algorithm,
+                            const TransactionDatabase& db, int num_ranks,
+                            const ParallelConfig& config) {
+  WallTimer timer;
+  Runtime runtime(num_ranks);
+  std::vector<RankOutput> outputs(static_cast<std::size_t>(num_ranks));
+
+  runtime.Run([&](Comm& comm) {
+    RankOutput out;
+    switch (algorithm) {
+      case Algorithm::kCD:
+        out = RunCdRank(db, comm, config);
+        break;
+      case Algorithm::kDD:
+        out = RunDdRank(db, comm, config, /*ring_movement=*/false);
+        break;
+      case Algorithm::kDDComm:
+        out = RunDdRank(db, comm, config, /*ring_movement=*/true);
+        break;
+      case Algorithm::kIDD:
+        out = RunIddRank(db, comm, config);
+        break;
+      case Algorithm::kHD:
+        out = RunHdRank(db, comm, config);
+        break;
+      case Algorithm::kHPA:
+        out = RunHpaRank(db, comm, config);
+        break;
+    }
+    outputs[static_cast<std::size_t>(comm.rank())] = std::move(out);
+  });
+
+  ParallelResult result;
+  result.minsup_count = config.apriori.ResolveMinsup(db.size());
+  result.frequent = std::move(outputs[0].frequent);
+  const std::size_t num_passes = outputs[0].passes.size();
+#ifndef NDEBUG
+  for (const RankOutput& out : outputs) {
+    assert(out.passes.size() == num_passes &&
+           "ranks must execute identical pass structure");
+  }
+#endif
+  result.metrics.per_pass.resize(num_passes);
+  for (std::size_t pass = 0; pass < num_passes; ++pass) {
+    auto& row = result.metrics.per_pass[pass];
+    row.reserve(static_cast<std::size_t>(num_ranks));
+    for (const RankOutput& out : outputs) {
+      row.push_back(out.passes[pass]);
+    }
+  }
+  result.wall_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace pam

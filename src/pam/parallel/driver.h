@@ -1,0 +1,31 @@
+#ifndef PAM_PARALLEL_DRIVER_H_
+#define PAM_PARALLEL_DRIVER_H_
+
+#include "pam/parallel/algorithms.h"
+#include "pam/parallel/metrics.h"
+#include "pam/tdb/database.h"
+
+namespace pam {
+
+/// Result of a parallel mining run.
+struct ParallelResult {
+  /// Globally frequent itemsets (identical on every rank; rank 0's copy).
+  FrequentItemsets frequent;
+  /// Exact per-pass, per-rank work and traffic counters.
+  RunMetrics metrics;
+  Count minsup_count = 0;
+  /// End-to-end wall-clock of the run (informational: logical ranks share
+  /// the host's cores, so figures use the cost model instead).
+  double wall_seconds = 0.0;
+};
+
+/// Runs `algorithm` with `num_ranks` logical processors over `db`.
+/// Deterministic: identical inputs produce identical frequent itemsets and
+/// work counters on every invocation, for any rank count.
+ParallelResult MineParallel(Algorithm algorithm,
+                            const TransactionDatabase& db, int num_ranks,
+                            const ParallelConfig& config);
+
+}  // namespace pam
+
+#endif  // PAM_PARALLEL_DRIVER_H_

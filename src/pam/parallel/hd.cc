@@ -1,0 +1,145 @@
+#include "pam/core/apriori_gen.h"
+#include "pam/parallel/algorithms.h"
+#include "pam/util/timer.h"
+
+namespace pam {
+
+// Hybrid Distribution (paper Section III-D, Figure 9): the P processors
+// form a logical G x (P/G) grid, chosen per pass from the candidate count
+// (Table II). Candidates are partitioned (IDD-style) among the G rows;
+// transactions circulate through the IDD ring within each column (step 1),
+// counts are reduced CD-style along rows (step 2), and the frequent subsets
+// are exchanged along columns (step 3).
+RankOutput RunHdRank(const TransactionDatabase& db, Comm& comm,
+                     const ParallelConfig& config) {
+  using parallel_internal::ChooseGridRows;
+  using parallel_internal::ExchangeFrequent;
+  using parallel_internal::FrequentSubset;
+  using parallel_internal::ParallelPass1;
+  using parallel_internal::RingShiftAll;
+
+  RankOutput out;
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const TransactionDatabase::Slice slice = db.RankSlice(rank, p);
+  const Count minsup = config.apriori.ResolveMinsup(db.size());
+  std::vector<Count> dhp_buckets;  // PDM-style DHP filter state (optional)
+
+  {
+    WallTimer timer;
+    PassMetrics m;
+    ItemsetCollection f1 = ParallelPass1(db, slice, comm, minsup, &m,
+                                         &config, &dhp_buckets);
+    m.wall_seconds = timer.Seconds();
+    out.passes.push_back(m);
+    out.frequent.levels.push_back(std::move(f1));
+  }
+
+  for (int k = 2; config.apriori.max_k == 0 || k <= config.apriori.max_k;
+       ++k) {
+    const ItemsetCollection& prev = out.frequent.levels.back();
+    if (prev.size() < 2) break;
+    WallTimer timer;
+    PassMetrics m;
+    m.k = k;
+    m.local_db_wire_bytes = db.WireBytes(slice);
+
+    ItemsetCollection candidates =
+        parallel_internal::GenerateCandidates(prev, k, dhp_buckets, minsup);
+    if (candidates.empty()) break;
+    m.num_candidates_global = candidates.size();
+
+    // Dynamic grid configuration (Table II), unless pinned by the caller.
+    int rows;
+    if (config.hd_forced_rows > 0) {
+      rows = p;
+      for (int g = config.hd_forced_rows; g <= p; ++g) {
+        if (p % g == 0) {
+          rows = g;
+          break;
+        }
+      }
+    } else {
+      rows = ChooseGridRows(candidates.size(), config.hd_threshold_m, p);
+    }
+    const int cols = p / rows;
+    const int my_row = rank / cols;
+    const int my_col = rank % cols;
+    m.grid_rows = rows;
+    m.grid_cols = cols;
+
+    std::vector<int> column_members;
+    for (int r = 0; r < rows; ++r) column_members.push_back(my_col + r * cols);
+    std::vector<int> row_members;
+    for (int c = 0; c < cols; ++c) row_members.push_back(my_row * cols + c);
+    Comm col_comm = comm.Sub(
+        column_members,
+        (static_cast<std::uint64_t>(k) << 32) | 0x0000434fULL /* "CO" */);
+    Comm row_comm = comm.Sub(
+        row_members,
+        (static_cast<std::uint64_t>(k) << 32) | 0x0000524fULL /* "RO" */);
+
+    // Candidate partition among the G rows; identical in every column.
+    CandidatePartition partition = PartitionByPrefix(
+        candidates, db.NumItems(), rows, config.prefix_strategy,
+        config.split_heavy_prefixes);
+    std::vector<std::uint32_t> my_ids =
+        partition.ids_per_part[static_cast<std::size_t>(my_row)];
+    m.num_candidates_local = my_ids.size();
+
+    HashTree tree(candidates, my_ids, config.apriori.tree);
+    m.tree_build_inserts = tree.build_inserts();
+    const Bitmap* filter =
+        config.idd_use_bitmap
+            ? &partition.first_item_filter[static_cast<std::size_t>(my_row)]
+            : nullptr;
+
+    // Step 1: IDD within the column — each rank sees the G * N/P
+    // transactions of its column.
+    std::vector<Count> counts(candidates.size(), 0);
+    auto process = [&](const Page& page) {
+      ForEachTransaction(page, [&](ItemSpan tx) {
+        tree.Subset(tx, std::span<Count>(counts), &m.subset, filter);
+        ++m.transactions_processed;
+      });
+    };
+    const std::vector<Page> local_pages =
+        Paginate(db, slice, config.page_bytes);
+    m.data_bytes_sent += RingShiftAll(col_comm, local_pages, process,
+                                      &m.data_messages_sent);
+
+    // Step 2: reduction along the row — every rank of a row holds the same
+    // candidate subset; sum their per-column counts.
+    if (cols > 1) {
+      std::vector<std::uint64_t> dense(my_ids.size());
+      for (std::size_t i = 0; i < my_ids.size(); ++i) {
+        dense[i] = counts[my_ids[i]];
+      }
+      row_comm.AllReduceSum(std::span<std::uint64_t>(dense));
+      for (std::size_t i = 0; i < my_ids.size(); ++i) {
+        counts[my_ids[i]] = dense[i];
+      }
+      m.reduction_words += my_ids.size();
+    }
+
+    // Step 3: all-to-all broadcast of frequent subsets along the column
+    // (one representative of every row per column).
+    candidates.counts() = std::move(counts);
+    ItemsetCollection local_frequent =
+        FrequentSubset(candidates, my_ids, minsup);
+    ItemsetCollection frequent =
+        ExchangeFrequent(col_comm, local_frequent, &m.broadcast_words);
+    m.num_frequent_global = frequent.size();
+    m.wall_seconds = timer.Seconds();
+    out.passes.push_back(m);
+    if (frequent.empty()) break;
+    out.frequent.levels.push_back(std::move(frequent));
+  }
+
+  while (!out.frequent.levels.empty() && out.frequent.levels.back().empty()) {
+    out.frequent.levels.pop_back();
+  }
+  return out;
+}
+
+}  // namespace pam

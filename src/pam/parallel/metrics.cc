@@ -1,0 +1,51 @@
+#include "pam/parallel/metrics.h"
+
+namespace pam {
+
+LoadSummary RunMetrics::SubsetWorkBalance(int pass_index) const {
+  std::vector<double> work;
+  for (const PassMetrics& m :
+       per_pass[static_cast<std::size_t>(pass_index)]) {
+    work.push_back(static_cast<double>(m.subset.traversal_steps +
+                                       m.subset.leaf_candidates_checked));
+  }
+  return Summarize(work);
+}
+
+std::uint64_t RunMetrics::TotalDataBytes(int pass_index) const {
+  std::uint64_t total = 0;
+  for (const PassMetrics& m :
+       per_pass[static_cast<std::size_t>(pass_index)]) {
+    total += m.data_bytes_sent;
+  }
+  return total;
+}
+
+std::uint64_t RunMetrics::TotalLeafVisits(int pass_index) const {
+  std::uint64_t total = 0;
+  for (const PassMetrics& m :
+       per_pass[static_cast<std::size_t>(pass_index)]) {
+    total += m.subset.distinct_leaf_visits;
+  }
+  return total;
+}
+
+std::uint64_t RunMetrics::TotalTransactionsProcessed(int pass_index) const {
+  std::uint64_t total = 0;
+  for (const PassMetrics& m :
+       per_pass[static_cast<std::size_t>(pass_index)]) {
+    total += m.transactions_processed;
+  }
+  return total;
+}
+
+SubsetStats RunMetrics::PassSubsetStats(int pass_index) const {
+  SubsetStats out;
+  for (const PassMetrics& m :
+       per_pass[static_cast<std::size_t>(pass_index)]) {
+    out.Accumulate(m.subset);
+  }
+  return out;
+}
+
+}  // namespace pam

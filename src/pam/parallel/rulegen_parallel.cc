@@ -1,0 +1,89 @@
+#include "pam/parallel/rulegen_parallel.h"
+
+#include <bit>
+#include <cassert>
+
+namespace pam {
+
+std::vector<std::uint64_t> SerializeRules(const std::vector<Rule>& rules) {
+  std::vector<std::uint64_t> out;
+  out.push_back(rules.size());
+  for (const Rule& rule : rules) {
+    out.push_back(rule.antecedent.size());
+    for (Item x : rule.antecedent) out.push_back(x);
+    out.push_back(rule.consequent.size());
+    for (Item x : rule.consequent) out.push_back(x);
+    out.push_back(rule.joint_count);
+    out.push_back(std::bit_cast<std::uint64_t>(rule.support));
+    out.push_back(std::bit_cast<std::uint64_t>(rule.confidence));
+  }
+  return out;
+}
+
+std::vector<Rule> DeserializeRules(const std::uint64_t* words,
+                                   std::size_t num_words) {
+  assert(num_words >= 1);
+  std::size_t pos = 0;
+  const std::uint64_t count = words[pos++];
+  std::vector<Rule> rules;
+  rules.reserve(count);
+  for (std::uint64_t r = 0; r < count; ++r) {
+    Rule rule;
+    const std::uint64_t ante_len = words[pos++];
+    for (std::uint64_t i = 0; i < ante_len; ++i) {
+      rule.antecedent.push_back(static_cast<Item>(words[pos++]));
+    }
+    const std::uint64_t cons_len = words[pos++];
+    for (std::uint64_t i = 0; i < cons_len; ++i) {
+      rule.consequent.push_back(static_cast<Item>(words[pos++]));
+    }
+    rule.joint_count = words[pos++];
+    rule.support = std::bit_cast<double>(words[pos++]);
+    rule.confidence = std::bit_cast<double>(words[pos++]);
+    rules.push_back(std::move(rule));
+  }
+  assert(pos == num_words);
+  (void)num_words;
+  return rules;
+}
+
+std::vector<Rule> GenerateRulesParallel(Comm& comm,
+                                        const FrequentItemsets& frequent,
+                                        std::size_t num_transactions,
+                                        double min_confidence) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+
+  // Round-robin over the global index of rule-source itemsets (size >= 2).
+  std::vector<Rule> local;
+  std::size_t global_index = 0;
+  for (std::size_t level = 1; level < frequent.levels.size(); ++level) {
+    for (std::size_t s = 0; s < frequent.levels[level].size(); ++s) {
+      if (global_index % static_cast<std::size_t>(p) ==
+          static_cast<std::size_t>(rank)) {
+        rulegen_internal::RulesForItemset(frequent, level, s,
+                                          num_transactions, min_confidence,
+                                          &local);
+      }
+      ++global_index;
+    }
+  }
+
+  const std::vector<std::uint64_t> mine = SerializeRules(local);
+  auto blobs = comm.AllGather(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(mine.data()),
+      mine.size() * sizeof(std::uint64_t)));
+
+  std::vector<Rule> merged;
+  for (const auto& blob : blobs) {
+    std::vector<Rule> part = DeserializeRules(
+        reinterpret_cast<const std::uint64_t*>(blob.data()),
+        blob.size() / sizeof(std::uint64_t));
+    merged.insert(merged.end(), std::make_move_iterator(part.begin()),
+                  std::make_move_iterator(part.end()));
+  }
+  rulegen_internal::SortRules(merged);
+  return merged;
+}
+
+}  // namespace pam

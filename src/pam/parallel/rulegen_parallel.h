@@ -1,0 +1,33 @@
+#ifndef PAM_PARALLEL_RULEGEN_PARALLEL_H_
+#define PAM_PARALLEL_RULEGEN_PARALLEL_H_
+
+#include <vector>
+
+#include "pam/core/rulegen.h"
+#include "pam/mp/comm.h"
+
+namespace pam {
+
+/// Parallel rule generation — the second step of association rule
+/// discovery (the paper focuses on frequent-itemset counting and notes
+/// this step's parallel implementation is straightforward, deferring to
+/// Agrawal & Shafer): every rank holds the complete frequent itemsets
+/// (which all four counting formulations guarantee), the rule-source
+/// itemsets are partitioned round-robin by global index, each rank runs
+/// ap-genrules on its share, and the rule sets are all-gathered.
+///
+/// Every rank returns the identical, canonically sorted rule set. Must be
+/// called collectively by every member of `comm`.
+std::vector<Rule> GenerateRulesParallel(Comm& comm,
+                                        const FrequentItemsets& frequent,
+                                        std::size_t num_transactions,
+                                        double min_confidence);
+
+/// Serializes rules into a flat word stream and back; exposed for tests.
+std::vector<std::uint64_t> SerializeRules(const std::vector<Rule>& rules);
+std::vector<Rule> DeserializeRules(const std::uint64_t* words,
+                                   std::size_t num_words);
+
+}  // namespace pam
+
+#endif  // PAM_PARALLEL_RULEGEN_PARALLEL_H_

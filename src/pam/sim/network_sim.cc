@@ -1,0 +1,229 @@
+#include "pam/sim/network_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pam {
+namespace {
+
+// Most-cubic factorization of n into a*b*c, a >= b >= c.
+void FactorTorus(int n, int shape[3]) {
+  int best[3] = {n, 1, 1};
+  double best_score = 1e18;
+  for (int a = 1; a * a * a <= n; ++a) {
+    if (n % a != 0) continue;
+    const int rest = n / a;
+    for (int b = a; b * b <= rest; ++b) {
+      if (rest % b != 0) continue;
+      const int c = rest / b;
+      // Score: surface-to-volume style preference for cubic shapes.
+      const double score = static_cast<double>(c) - static_cast<double>(a);
+      if (score < best_score) {
+        best_score = score;
+        best[0] = c;
+        best[1] = b;
+        best[2] = a;
+      }
+    }
+  }
+  shape[0] = best[0];
+  shape[1] = best[1];
+  shape[2] = best[2];
+}
+
+}  // namespace
+
+NetworkSimulator::NetworkSimulator(int num_nodes, Topology topology,
+                                   double bytes_per_second,
+                                   double latency_seconds)
+    : num_nodes_(num_nodes),
+      topology_(topology),
+      bytes_per_second_(bytes_per_second),
+      latency_seconds_(latency_seconds) {
+  assert(num_nodes >= 1);
+  // Uniform id space: six directional port slots per node (rings use two,
+  // the one-port model uses an out/in pair; unused slots stay idle and
+  // are excluded from utilization).
+  num_links_ = static_cast<std::size_t>(num_nodes_) * 6;
+  switch (topology_) {
+    case Topology::kFullyConnectedOnePort:
+    case Topology::kRing:
+      shape_[0] = num_nodes_;
+      break;
+    case Topology::kTorus3D:
+      FactorTorus(num_nodes_, shape_);
+      break;
+  }
+}
+
+int NetworkSimulator::NodeId(int x, int y, int z) const {
+  return (z * shape_[1] + y) * shape_[0] + x;
+}
+
+int NetworkSimulator::LinkId(int from_node, int direction) const {
+  // direction: ring/torus directional port index.
+  return from_node * 6 + direction;
+}
+
+std::vector<int> NetworkSimulator::Route(int src, int dst) const {
+  std::vector<int> route;
+  if (src == dst) return route;
+  switch (topology_) {
+    case Topology::kFullyConnectedOnePort:
+      route.push_back(src * 2);      // src out-port
+      route.push_back(dst * 2 + 1);  // dst in-port
+      return route;
+    case Topology::kRing: {
+      const int n = num_nodes_;
+      const int forward = (dst - src + n) % n;
+      const int backward = (src - dst + n) % n;
+      int node = src;
+      if (forward <= backward) {
+        for (int h = 0; h < forward; ++h) {
+          route.push_back(LinkId(node, 0));
+          node = (node + 1) % n;
+        }
+      } else {
+        for (int h = 0; h < backward; ++h) {
+          route.push_back(LinkId(node, 1));
+          node = (node + n - 1) % n;
+        }
+      }
+      return route;
+    }
+    case Topology::kTorus3D: {
+      int from[3] = {src % shape_[0], (src / shape_[0]) % shape_[1],
+                     src / (shape_[0] * shape_[1])};
+      const int to[3] = {dst % shape_[0], (dst / shape_[0]) % shape_[1],
+                         dst / (shape_[0] * shape_[1])};
+      // Dimension-order routing, shorter wrap direction per dimension.
+      for (int d = 0; d < 3; ++d) {
+        const int size = shape_[d];
+        if (size == 1) continue;
+        while (from[d] != to[d]) {
+          const int fwd = (to[d] - from[d] + size) % size;
+          const int bwd = (from[d] - to[d] + size) % size;
+          const bool go_forward = size == 2 || fwd <= bwd;
+          const int node = NodeId(from[0], from[1], from[2]);
+          route.push_back(LinkId(node, d * 2 + (go_forward ? 0 : 1)));
+          from[d] = go_forward ? (from[d] + 1) % size
+                               : (from[d] + size - 1) % size;
+        }
+      }
+      return route;
+    }
+  }
+  return route;
+}
+
+SimResult NetworkSimulator::Run(
+    const std::vector<SimMessage>& messages) const {
+  // Per-source FIFO queues preserve each node's injection order; global
+  // processing round-robins over sources to approximate concurrent
+  // injection deterministically.
+  std::vector<std::vector<std::size_t>> per_source(
+      static_cast<std::size_t>(num_nodes_));
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    assert(messages[i].src >= 0 && messages[i].src < num_nodes_);
+    assert(messages[i].dst >= 0 && messages[i].dst < num_nodes_);
+    per_source[static_cast<std::size_t>(messages[i].src)].push_back(i);
+  }
+
+  std::vector<double> link_free(num_links_, 0.0);
+  std::vector<double> link_busy(num_links_, 0.0);
+  std::vector<double> injection_ready(static_cast<std::size_t>(num_nodes_),
+                                      0.0);
+  double makespan = 0.0;
+
+  std::size_t round = 0;
+  bool any = true;
+  while (any) {
+    any = false;
+    for (int s = 0; s < num_nodes_; ++s) {
+      const auto& queue = per_source[static_cast<std::size_t>(s)];
+      if (round >= queue.size()) continue;
+      any = true;
+      const SimMessage& msg = messages[queue[round]];
+      if (msg.src == msg.dst || msg.bytes == 0) continue;
+      const double service =
+          latency_seconds_ +
+          static_cast<double>(msg.bytes) / bytes_per_second_;
+      double t = injection_ready[static_cast<std::size_t>(s)];
+      bool first_hop = true;
+      for (int link : Route(msg.src, msg.dst)) {
+        const double start =
+            std::max(t, link_free[static_cast<std::size_t>(link)]);
+        const double end = start + service;
+        link_free[static_cast<std::size_t>(link)] = end;
+        link_busy[static_cast<std::size_t>(link)] += service;
+        t = end;
+        if (first_hop) {
+          injection_ready[static_cast<std::size_t>(s)] = end;
+          first_hop = false;
+        }
+      }
+      makespan = std::max(makespan, t);
+    }
+    ++round;
+  }
+
+  SimResult result;
+  result.makespan = makespan;
+  double busy_total = 0.0;
+  std::size_t used_links = 0;
+  for (double b : link_busy) {
+    busy_total += b;
+    if (b > 0.0) ++used_links;
+    result.max_link_busy = std::max(result.max_link_busy, b);
+  }
+  if (makespan > 0.0 && used_links > 0) {
+    result.link_utilization =
+        busy_total / (static_cast<double>(used_links) * makespan);
+  }
+  return result;
+}
+
+std::vector<SimMessage> NetworkSimulator::AllToAll(
+    int num_nodes, std::uint64_t bytes_per_peer) {
+  std::vector<SimMessage> messages;
+  for (int s = 0; s < num_nodes; ++s) {
+    for (int offset = 1; offset < num_nodes; ++offset) {
+      messages.push_back(
+          SimMessage{s, (s + offset) % num_nodes, bytes_per_peer});
+    }
+  }
+  return messages;
+}
+
+std::vector<SimMessage> NetworkSimulator::RingShift(
+    int num_nodes, std::uint64_t bytes_per_shift, int rounds) {
+  std::vector<SimMessage> messages;
+  for (int r = 0; r < rounds; ++r) {
+    for (int s = 0; s < num_nodes; ++s) {
+      messages.push_back(
+          SimMessage{s, (s + 1) % num_nodes, bytes_per_shift});
+    }
+  }
+  return messages;
+}
+
+double ContentionFactor(const NetworkSimulator& sim,
+                        const std::vector<SimMessage>& messages,
+                        double bytes_per_second) {
+  std::vector<std::uint64_t> injected;
+  for (const SimMessage& m : messages) {
+    if (static_cast<std::size_t>(m.src) >= injected.size()) {
+      injected.resize(static_cast<std::size_t>(m.src) + 1, 0);
+    }
+    injected[static_cast<std::size_t>(m.src)] += m.bytes;
+  }
+  std::uint64_t max_injected = 0;
+  for (std::uint64_t b : injected) max_injected = std::max(max_injected, b);
+  if (max_injected == 0) return 1.0;
+  const double ideal =
+      static_cast<double>(max_injected) / bytes_per_second;
+  return sim.Run(messages).makespan / ideal;
+}
+
+}  // namespace pam

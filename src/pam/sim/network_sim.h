@@ -1,0 +1,98 @@
+#ifndef PAM_SIM_NETWORK_SIM_H_
+#define PAM_SIM_NETWORK_SIM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pam {
+
+/// A message to be injected into the simulated network. Messages from the
+/// same source are injected in vector order (a node has one injection
+/// port and serializes its own sends, as on the paper's Cray T3E where a
+/// processor drives one link at a time).
+struct SimMessage {
+  int src = 0;
+  int dst = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Interconnect topologies for the simulator. kFullyConnectedOnePort is
+/// the paper's idealized "fully connected but one transfer at a time per
+/// node"; kRing and kTorus3D route over shared links (dimension-order on
+/// the torus, matching the T3E's network).
+enum class Topology { kFullyConnectedOnePort, kRing, kTorus3D };
+
+/// Result of simulating a communication phase.
+struct SimResult {
+  /// Time until the last byte is delivered (seconds).
+  double makespan = 0.0;
+  /// Sum over links of busy time divided by (#links * makespan) — how
+  /// evenly the pattern loads the network.
+  double link_utilization = 0.0;
+  /// The busiest link's busy time (seconds); contention shows up as this
+  /// approaching the makespan while utilization stays low.
+  double max_link_busy = 0.0;
+};
+
+/// A store-and-forward flow-level network simulator. Each directed link
+/// has a fixed bandwidth; a message occupies every link of its route for
+/// `bytes / bandwidth + latency` of busy time, links serve one message at
+/// a time in arrival order, and a node injects its own messages
+/// sequentially. This is deliberately simple — it is the paper's
+/// back-of-envelope network model made executable, used to *derive* the
+/// contention multiplier that the analytic cost model charges DD's
+/// unstructured all-to-all (see MachineModel::dd_contention), instead of
+/// hand-picking it.
+class NetworkSimulator {
+ public:
+  /// `num_nodes` nodes on `topology`; torus shape is the most cubic
+  /// factorization of num_nodes.
+  NetworkSimulator(int num_nodes, Topology topology,
+                   double bytes_per_second, double latency_seconds);
+
+  /// Simulates delivering `messages`; per-source injection order is the
+  /// order within the vector.
+  SimResult Run(const std::vector<SimMessage>& messages) const;
+
+  /// Canonical patterns the algorithms use.
+  /// DD: every node sends `bytes_per_peer` to every other node.
+  static std::vector<SimMessage> AllToAll(int num_nodes,
+                                          std::uint64_t bytes_per_peer);
+  /// IDD: P-1 rounds of neighbor shifts of `bytes_per_shift`.
+  static std::vector<SimMessage> RingShift(int num_nodes,
+                                           std::uint64_t bytes_per_shift,
+                                           int rounds);
+
+  /// Route (sequence of directed link ids) from src to dst; exposed for
+  /// tests.
+  std::vector<int> Route(int src, int dst) const;
+
+  int num_links() const { return static_cast<int>(num_links_); }
+  /// Torus dimensions chosen for num_nodes (1x1xN etc. degenerate shapes
+  /// allowed); {num_nodes, 1, 1} style for rings.
+  const int* torus_shape() const { return shape_; }
+
+ private:
+  int LinkId(int from_node, int to_node) const;
+  int NodeId(int x, int y, int z) const;
+
+  int num_nodes_;
+  Topology topology_;
+  double bytes_per_second_;
+  double latency_seconds_;
+  int shape_[3] = {1, 1, 1};
+  std::size_t num_links_ = 0;
+};
+
+/// Convenience: the effective contention multiplier of a pattern —
+/// simulated makespan divided by the ideal one-port lower bound
+/// (max per-node injected bytes / bandwidth). The cost model's
+/// dd_contention corresponds to AllToAll on kTorus3D.
+double ContentionFactor(const NetworkSimulator& sim,
+                        const std::vector<SimMessage>& messages,
+                        double bytes_per_second);
+
+}  // namespace pam
+
+#endif  // PAM_SIM_NETWORK_SIM_H_

@@ -1,0 +1,74 @@
+#include "pam/tdb/db_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pam {
+
+DbStats ComputeDbStats(const TransactionDatabase& db) {
+  DbStats stats;
+  stats.num_transactions = db.size();
+  stats.num_items = db.NumItems();
+  stats.item_frequencies.assign(db.NumItems(), 0);
+  stats.min_transaction_len = db.empty() ? 0 : db.Transaction(0).size();
+
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    ItemSpan tx = db.Transaction(t);
+    stats.total_item_occurrences += tx.size();
+    stats.min_transaction_len = std::min(stats.min_transaction_len,
+                                         tx.size());
+    stats.max_transaction_len = std::max(stats.max_transaction_len,
+                                         tx.size());
+    for (Item x : tx) ++stats.item_frequencies[x];
+  }
+  if (!db.empty()) {
+    stats.avg_transaction_len =
+        static_cast<double>(stats.total_item_occurrences) /
+        static_cast<double>(db.size());
+  }
+  for (Count c : stats.item_frequencies) {
+    if (c > 0) ++stats.distinct_items;
+  }
+
+  // Gini coefficient over the sorted frequency vector:
+  // G = (2 * sum_i i*x_i) / (n * sum x) - (n + 1) / n for ascending x_i
+  // (1-indexed).
+  if (stats.total_item_occurrences > 0 && stats.num_items > 0) {
+    std::vector<Count> sorted = stats.item_frequencies;
+    std::sort(sorted.begin(), sorted.end());
+    long double weighted = 0.0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      weighted += static_cast<long double>(i + 1) *
+                  static_cast<long double>(sorted[i]);
+    }
+    const long double n = static_cast<long double>(sorted.size());
+    const long double total =
+        static_cast<long double>(stats.total_item_occurrences);
+    stats.item_gini =
+        static_cast<double>(2.0L * weighted / (n * total) - (n + 1) / n);
+
+    // Items covering half the mass (from the heaviest down).
+    Count covered = 0;
+    for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
+      covered += *it;
+      ++stats.items_covering_half;
+      if (2 * covered >= stats.total_item_occurrences) break;
+    }
+  }
+  return stats;
+}
+
+std::string DbStats::ToString() const {
+  std::ostringstream os;
+  os << "transactions: " << num_transactions << "\n"
+     << "items: " << distinct_items << " occurring / " << num_items
+     << " alphabet\n"
+     << "occurrences: " << total_item_occurrences << " (avg length "
+     << avg_transaction_len << ", min " << min_transaction_len << ", max "
+     << max_transaction_len << ")\n"
+     << "item skew: gini " << item_gini << ", " << items_covering_half
+     << " items cover half the mass\n";
+  return os.str();
+}
+
+}  // namespace pam

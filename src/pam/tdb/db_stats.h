@@ -1,0 +1,43 @@
+#ifndef PAM_TDB_DB_STATS_H_
+#define PAM_TDB_DB_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pam/tdb/database.h"
+
+namespace pam {
+
+/// Descriptive statistics of a transaction database — the quantities the
+/// paper's analysis parameterizes on (N, I = average transaction length,
+/// item skew that drives IDD's bin packing) plus distribution detail for
+/// workload characterization in examples and tools.
+struct DbStats {
+  std::size_t num_transactions = 0;
+  std::size_t num_items = 0;       // alphabet size
+  std::size_t distinct_items = 0;  // items that actually occur
+  std::uint64_t total_item_occurrences = 0;
+  double avg_transaction_len = 0.0;
+  std::size_t min_transaction_len = 0;
+  std::size_t max_transaction_len = 0;
+  /// Per-item occurrence counts (size num_items).
+  std::vector<Count> item_frequencies;
+  /// Gini coefficient of the item frequency distribution in [0, 1):
+  /// 0 = perfectly uniform, ->1 = all mass on one item. Skew here is what
+  /// makes naive contiguous candidate partitioning unbalanced (paper
+  /// Section III-C).
+  double item_gini = 0.0;
+  /// Smallest number of items covering half of all occurrences.
+  std::size_t items_covering_half = 0;
+
+  /// Multi-line human readable rendering.
+  std::string ToString() const;
+};
+
+/// Computes statistics in one pass over the database.
+DbStats ComputeDbStats(const TransactionDatabase& db);
+
+}  // namespace pam
+
+#endif  // PAM_TDB_DB_STATS_H_

@@ -1,0 +1,28 @@
+#ifndef PAM_TDB_IO_H_
+#define PAM_TDB_IO_H_
+
+#include <string>
+
+#include "pam/tdb/database.h"
+#include "pam/util/status.h"
+
+namespace pam {
+
+/// Writes the database as whitespace-separated item ids, one transaction per
+/// line (the common "basket file" interchange format).
+Status WriteText(const TransactionDatabase& db, const std::string& path);
+
+/// Reads a basket text file. Blank lines are skipped; items on a line may be
+/// in any order and may repeat (they are sorted/deduplicated on load).
+Result<TransactionDatabase> ReadText(const std::string& path);
+
+/// Writes a compact binary image: magic, transaction count, offsets, items.
+Status WriteBinary(const TransactionDatabase& db, const std::string& path);
+
+/// Reads a binary image written by WriteBinary, validating the magic and
+/// structural invariants (monotone offsets, sorted transactions).
+Result<TransactionDatabase> ReadBinary(const std::string& path);
+
+}  // namespace pam
+
+#endif  // PAM_TDB_IO_H_

@@ -1,0 +1,52 @@
+#include "pam/tdb/page_buffer.h"
+
+#include <cassert>
+
+namespace pam {
+
+std::vector<Page> Paginate(const TransactionDatabase& db,
+                           TransactionDatabase::Slice slice,
+                           std::size_t page_bytes) {
+  std::vector<Page> pages;
+  const std::size_t page_words =
+      page_bytes / sizeof(std::uint32_t) > 0
+          ? page_bytes / sizeof(std::uint32_t)
+          : 1;
+  Page current;
+  for (std::size_t t = slice.begin; t < slice.end; ++t) {
+    ItemSpan items = db.Transaction(t);
+    const std::size_t need = items.size() + 1;
+    if (!current.empty() && current.size() + need > page_words) {
+      pages.push_back(std::move(current));
+      current = Page();
+    }
+    current.push_back(static_cast<std::uint32_t>(items.size()));
+    current.insert(current.end(), items.begin(), items.end());
+  }
+  if (!current.empty()) pages.push_back(std::move(current));
+  return pages;
+}
+
+void ForEachTransaction(const Page& page,
+                        const std::function<void(ItemSpan)>& fn) {
+  std::size_t pos = 0;
+  while (pos < page.size()) {
+    const std::size_t len = page[pos++];
+    assert(pos + len <= page.size() && "corrupt page");
+    fn(ItemSpan(reinterpret_cast<const Item*>(page.data() + pos), len));
+    pos += len;
+  }
+}
+
+std::size_t PageTransactionCount(const Page& page) {
+  std::size_t pos = 0;
+  std::size_t count = 0;
+  while (pos < page.size()) {
+    const std::size_t len = page[pos++];
+    pos += len;
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace pam

@@ -1,0 +1,42 @@
+#ifndef PAM_TDB_PAGE_BUFFER_H_
+#define PAM_TDB_PAGE_BUFFER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "pam/tdb/database.h"
+#include "pam/util/types.h"
+
+namespace pam {
+
+/// A wire page: a length-prefixed run of transactions, the unit of data
+/// movement in the DD and IDD algorithms (the paper moves the database one
+/// "page" at a time through P buffers in DD, and through the SBuf/RBuf ring
+/// pipeline of Figure 6 in IDD).
+///
+/// Layout: repeated { u32 transaction_length, u32 items[transaction_length] }.
+using Page = std::vector<std::uint32_t>;
+
+/// Splits the given slice of a database into pages of at most
+/// `page_bytes` bytes each (always at least one transaction per page, so a
+/// jumbo transaction simply yields an oversized page).
+std::vector<Page> Paginate(const TransactionDatabase& db,
+                           TransactionDatabase::Slice slice,
+                           std::size_t page_bytes);
+
+/// Invokes `fn` for every transaction serialized in `page`.
+void ForEachTransaction(const Page& page,
+                        const std::function<void(ItemSpan)>& fn);
+
+/// Number of transactions serialized in `page`.
+std::size_t PageTransactionCount(const Page& page);
+
+/// Size of a page in wire bytes.
+inline std::size_t PageBytes(const Page& page) {
+  return page.size() * sizeof(std::uint32_t);
+}
+
+}  // namespace pam
+
+#endif  // PAM_TDB_PAGE_BUFFER_H_

@@ -1,0 +1,53 @@
+#include "pam/tdb/remap.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pam {
+
+ItemRemap BuildFrequencyRemap(const TransactionDatabase& db) {
+  const std::size_t n = db.NumItems();
+  std::vector<Count> freq(n, 0);
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    for (Item x : db.Transaction(t)) ++freq[x];
+  }
+  std::vector<Item> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&freq](Item a, Item b) {
+    if (freq[a] != freq[b]) return freq[a] > freq[b];
+    return a < b;
+  });
+
+  ItemRemap remap;
+  remap.old_to_new.resize(n);
+  remap.new_to_old.resize(n);
+  for (Item new_id = 0; new_id < n; ++new_id) {
+    const Item old_id = order[new_id];
+    remap.old_to_new[old_id] = new_id;
+    remap.new_to_old[new_id] = old_id;
+  }
+  return remap;
+}
+
+TransactionDatabase ApplyRemap(const TransactionDatabase& db,
+                               const std::vector<Item>& old_to_new) {
+  TransactionDatabase out;
+  std::vector<Item> scratch;
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    ItemSpan tx = db.Transaction(t);
+    scratch.assign(tx.begin(), tx.end());
+    for (Item& x : scratch) x = old_to_new[x];
+    std::sort(scratch.begin(), scratch.end());
+    out.AddSorted(ItemSpan(scratch.data(), scratch.size()));
+  }
+  return out;
+}
+
+std::vector<Item> TranslateBack(const ItemRemap& remap, ItemSpan items) {
+  std::vector<Item> out(items.begin(), items.end());
+  for (Item& x : out) x = remap.new_to_old[x];
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pam

@@ -1,0 +1,38 @@
+#ifndef PAM_TDB_REMAP_H_
+#define PAM_TDB_REMAP_H_
+
+#include <vector>
+
+#include "pam/tdb/database.h"
+
+namespace pam {
+
+/// A bijective item relabeling.
+struct ItemRemap {
+  /// old_to_new[old_id] = new_id; identity for ids never seen.
+  std::vector<Item> old_to_new;
+  /// new_to_old[new_id] = old_id.
+  std::vector<Item> new_to_old;
+};
+
+/// Builds the frequency-descending relabeling: the most frequent item gets
+/// id 0, ties broken by old id. A classic Apriori preprocessing step: the
+/// hash tree hashes `item % fanout` and IDD partitions candidates by first
+/// item, so packing the frequent items into a dense id prefix spreads them
+/// uniformly over hash buckets and bin-packing weights — useful when the
+/// source data has clustered ids (e.g. the paper's 100-item example where
+/// all activity sits on ids 1..50).
+ItemRemap BuildFrequencyRemap(const TransactionDatabase& db);
+
+/// Returns a database with every item relabeled through `old_to_new`
+/// (transactions re-sorted under the new labels).
+TransactionDatabase ApplyRemap(const TransactionDatabase& db,
+                               const std::vector<Item>& old_to_new);
+
+/// Translates a mined itemset back to the original labels (sorted under
+/// the original ids).
+std::vector<Item> TranslateBack(const ItemRemap& remap, ItemSpan items);
+
+}  // namespace pam
+
+#endif  // PAM_TDB_REMAP_H_

@@ -1,0 +1,70 @@
+#include "pam/util/bin_packing.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <queue>
+
+namespace pam {
+
+double BinPackingResult::Imbalance() const {
+  if (bin_weight.empty()) return 1.0;
+  std::uint64_t total = 0;
+  std::uint64_t max = 0;
+  for (std::uint64_t w : bin_weight) {
+    total += w;
+    max = std::max(max, w);
+  }
+  if (total == 0) return 1.0;
+  const double avg =
+      static_cast<double>(total) / static_cast<double>(bin_weight.size());
+  return static_cast<double>(max) / avg;
+}
+
+BinPackingResult PackBins(const std::vector<std::uint64_t>& weights,
+                          int num_bins) {
+  BinPackingResult result;
+  result.bin_of.assign(weights.size(), 0);
+  result.bin_weight.assign(static_cast<std::size_t>(num_bins), 0);
+  if (num_bins <= 0 || weights.empty()) return result;
+
+  // Sort element indices by decreasing weight (stable on index for ties).
+  std::vector<std::size_t> order(weights.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (weights[a] != weights[b]) return weights[a] > weights[b];
+    return a < b;
+  });
+
+  // Min-heap of (bin weight, bin index).
+  using Entry = std::pair<std::uint64_t, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (int b = 0; b < num_bins; ++b) heap.emplace(0, b);
+
+  for (std::size_t i : order) {
+    auto [w, b] = heap.top();
+    heap.pop();
+    result.bin_of[i] = b;
+    result.bin_weight[static_cast<std::size_t>(b)] += weights[i];
+    heap.emplace(w + weights[i], b);
+  }
+  return result;
+}
+
+BinPackingResult PackContiguous(const std::vector<std::uint64_t>& weights,
+                                int num_bins) {
+  BinPackingResult result;
+  result.bin_of.assign(weights.size(), 0);
+  result.bin_weight.assign(static_cast<std::size_t>(num_bins), 0);
+  if (num_bins <= 0 || weights.empty()) return result;
+
+  const std::size_t n = weights.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    int b = static_cast<int>(i * static_cast<std::size_t>(num_bins) / n);
+    result.bin_of[i] = b;
+    result.bin_weight[static_cast<std::size_t>(b)] += weights[i];
+  }
+  return result;
+}
+
+}  // namespace pam

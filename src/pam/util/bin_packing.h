@@ -1,0 +1,41 @@
+#ifndef PAM_UTIL_BIN_PACKING_H_
+#define PAM_UTIL_BIN_PACKING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pam {
+
+/// Result of partitioning weighted elements into a fixed number of bins.
+struct BinPackingResult {
+  /// bin_of[i] is the bin index assigned to element i.
+  std::vector<int> bin_of;
+  /// Total weight per bin.
+  std::vector<std::uint64_t> bin_weight;
+
+  /// Maximum bin weight divided by the average bin weight, >= 1.0.
+  /// 1.0 means a perfectly even partition. Returns 1.0 for empty inputs.
+  double Imbalance() const;
+};
+
+/// Partitions `weights` into exactly `num_bins` bins, minimizing the maximum
+/// bin weight, using the longest-processing-time (first-fit-decreasing onto
+/// the lightest bin) greedy heuristic — the "bin-packing" partitioner of
+/// paper Section III-C used by IDD to assign candidate first-items to
+/// processors so every processor owns a roughly equal number of candidates.
+///
+/// Deterministic: ties between equally heavy elements are broken by element
+/// index, ties between equally light bins by bin index.
+BinPackingResult PackBins(const std::vector<std::uint64_t>& weights,
+                          int num_bins);
+
+/// Naive contiguous partitioner used as the ablation baseline: splits the
+/// element index range into `num_bins` contiguous chunks with (as close as
+/// possible) equal *element counts*, ignoring weights. This reproduces the
+/// paper's "items 1..50 to P0, items 51..100 to P1" bad-partition example.
+BinPackingResult PackContiguous(const std::vector<std::uint64_t>& weights,
+                                int num_bins);
+
+}  // namespace pam
+
+#endif  // PAM_UTIL_BIN_PACKING_H_

@@ -1,0 +1,50 @@
+#ifndef PAM_UTIL_BITMAP_H_
+#define PAM_UTIL_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pam {
+
+/// A fixed-size dynamic bitset. IDD uses one per processor to record which
+/// candidate first-items the local hash tree owns, so that the root level of
+/// the subset operation can skip transaction items whose candidates live on
+/// other processors (paper Section III-C, Figure 8).
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(std::size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  std::size_t size() const { return num_bits_; }
+
+  void Set(std::size_t i) { words_[i >> 6] |= 1ULL << (i & 63); }
+  void Clear(std::size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+  bool Test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  /// Number of set bits.
+  std::size_t Popcount() const {
+    std::size_t n = 0;
+    for (std::uint64_t w : words_) n += __builtin_popcountll(w);
+    return n;
+  }
+
+  /// Resets all bits to zero.
+  void Reset() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Raw word access for serialization across the message-passing layer.
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  std::size_t num_bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace pam
+
+#endif  // PAM_UTIL_BITMAP_H_

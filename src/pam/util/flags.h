@@ -1,0 +1,120 @@
+#ifndef PAM_UTIL_FLAGS_H_
+#define PAM_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pam {
+
+/// A minimal command-line flag parser for the CLI tools: accepts
+/// `--name=value`, `--name value`, and bare `--name` (boolean true).
+/// Anything not starting with `--` is collected as a positional argument.
+class FlagParser {
+ public:
+  /// Parses argv. Returns false (and records an error) on a malformed
+  /// argument list (e.g., `--name` at the end when a value was expected is
+  /// treated as boolean, so the only failure mode is an empty flag name).
+  bool Parse(int argc, const char* const* argv);
+
+  /// True if the flag was present on the command line.
+  bool Has(const std::string& name) const {
+    return values_.count(name) > 0;
+  }
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  std::int64_t GetInt(const std::string& name,
+                      std::int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& error() const { return error_; }
+
+  /// Flags seen that are not in `known`; lets tools reject typos.
+  std::vector<std::string> UnknownFlags(
+      const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+inline bool FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) {
+      error_ = "empty flag name in '" + arg + "'";
+      return false;
+    }
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` when the next token is not a flag, else boolean.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";
+    }
+  }
+  return true;
+}
+
+inline std::string FlagParser::GetString(
+    const std::string& name, const std::string& default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+inline std::int64_t FlagParser::GetInt(const std::string& name,
+                                       std::int64_t default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end()
+             ? default_value
+             : static_cast<std::int64_t>(std::atoll(it->second.c_str()));
+}
+
+inline double FlagParser::GetDouble(const std::string& name,
+                                    double default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value
+                             : std::atof(it->second.c_str());
+}
+
+inline bool FlagParser::GetBool(const std::string& name,
+                                bool default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+inline std::vector<std::string> FlagParser::UnknownFlags(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : values_) {
+    bool found = false;
+    for (const std::string& k : known) {
+      if (k == name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) unknown.push_back(name);
+  }
+  return unknown;
+}
+
+}  // namespace pam
+
+#endif  // PAM_UTIL_FLAGS_H_

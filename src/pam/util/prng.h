@@ -1,0 +1,105 @@
+#ifndef PAM_UTIL_PRNG_H_
+#define PAM_UTIL_PRNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace pam {
+
+/// Deterministic, seedable pseudo random number generator
+/// (xoshiro256** seeded through splitmix64). Every randomized component of
+/// the library takes an explicit seed so that data generation and the
+/// parallel algorithms are bit-reproducible across runs and rank counts.
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    // Lemire's nearly-divisionless bounded generation.
+    __uint128_t m = static_cast<__uint128_t>(NextU64()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(NextU64()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Exponentially distributed double with the given mean.
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    // Avoid log(0).
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  /// Poisson distributed integer with the given mean (Knuth's method for
+  /// small means, normal approximation for large means).
+  std::uint64_t NextPoisson(double mean) {
+    if (mean <= 0.0) return 0;
+    if (mean < 32.0) {
+      const double limit = std::exp(-mean);
+      double product = NextDouble();
+      std::uint64_t n = 0;
+      while (product > limit) {
+        ++n;
+        product *= NextDouble();
+      }
+      return n;
+    }
+    const double g = mean + std::sqrt(mean) * NextGaussian();
+    return g < 0.0 ? 0 : static_cast<std::uint64_t>(g + 0.5);
+  }
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian() {
+    double u1 = NextDouble();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double u2 = NextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace pam
+
+#endif  // PAM_UTIL_PRNG_H_

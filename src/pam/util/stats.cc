@@ -1,0 +1,30 @@
+#include "pam/util/stats.h"
+
+#include <algorithm>
+
+namespace pam {
+
+LoadSummary Summarize(const std::vector<double>& values) {
+  LoadSummary s;
+  if (values.empty()) return s;
+  s.min = values[0];
+  s.max = values[0];
+  for (double v : values) {
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    s.total += v;
+  }
+  s.mean = s.total / static_cast<double>(values.size());
+  if (s.mean > 0.0) {
+    s.imbalance = s.max / s.mean;
+    s.imbalance_percent = (s.imbalance - 1.0) * 100.0;
+  }
+  return s;
+}
+
+LoadSummary Summarize(const std::vector<std::uint64_t>& values) {
+  std::vector<double> d(values.begin(), values.end());
+  return Summarize(d);
+}
+
+}  // namespace pam

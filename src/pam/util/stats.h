@@ -1,0 +1,30 @@
+#ifndef PAM_UTIL_STATS_H_
+#define PAM_UTIL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pam {
+
+/// Summary statistics over a set of per-processor quantities; used to report
+/// load imbalance the way the paper does (max / average).
+struct LoadSummary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double total = 0.0;
+  /// max / mean; 1.0 when perfectly balanced. The paper quotes
+  /// "load imbalance of 1.3%" for (max/mean - 1) * 100.
+  double imbalance = 1.0;
+  /// (max / mean - 1) * 100, the paper's percentage formulation.
+  double imbalance_percent = 0.0;
+};
+
+/// Computes a LoadSummary over `values`. Empty input yields all zeros with
+/// imbalance 1.0.
+LoadSummary Summarize(const std::vector<double>& values);
+LoadSummary Summarize(const std::vector<std::uint64_t>& values);
+
+}  // namespace pam
+
+#endif  // PAM_UTIL_STATS_H_

@@ -1,0 +1,9 @@
+#include "pam/util/status.h"
+
+// Status is header-only today; this translation unit anchors the library so
+// the target always has at least one object file.
+namespace pam {
+namespace internal_status {
+void AnchorStatusLibrary() {}
+}  // namespace internal_status
+}  // namespace pam

@@ -1,0 +1,62 @@
+#ifndef PAM_UTIL_STATUS_H_
+#define PAM_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace pam {
+
+/// Minimal error type for fallible operations (mostly I/O). The library does
+/// not use exceptions; functions that can fail return `Status` or
+/// `Result<T>`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs an error status with a human readable message.
+  static Status Error(std::string message) {
+    Status s;
+    s.ok_ = false;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  /// Constructs an OK status (same as the default constructor; spelled out
+  /// for readability at call sites).
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+/// A value-or-error holder, a small stand-in for absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: `return my_db;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Value access. Must only be called when `ok()`.
+  T& value() { return value_; }
+  const T& value() const { return value_; }
+  T* operator->() { return &value_; }
+  const T* operator->() const { return &value_; }
+
+ private:
+  T value_{};
+  Status status_;
+};
+
+}  // namespace pam
+
+#endif  // PAM_UTIL_STATUS_H_

@@ -1,0 +1,28 @@
+#ifndef PAM_UTIL_TIMER_H_
+#define PAM_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace pam {
+
+/// Simple wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pam
+
+#endif  // PAM_UTIL_TIMER_H_

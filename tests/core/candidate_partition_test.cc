@@ -1,0 +1,183 @@
+#include "pam/core/candidate_partition.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "pam/core/apriori_gen.h"
+#include "pam/util/prng.h"
+
+namespace pam {
+namespace {
+
+// Candidate set over `universe` items where items < skew_until carry
+// `heavy` candidates each as first item and the rest carry one.
+ItemsetCollection SkewedCandidates(Item universe, Item skew_until,
+                                   std::size_t heavy) {
+  ItemsetCollection col(2);
+  for (Item first = 0; first < universe; ++first) {
+    const std::size_t n = first < skew_until ? heavy : 1;
+    std::size_t added = 0;
+    for (Item second = first + 1; second < universe && added < n; ++second) {
+      std::vector<Item> s = {first, second};
+      col.Add(ItemSpan(s.data(), 2));
+      ++added;
+    }
+  }
+  col.SortLexicographic();
+  return col;
+}
+
+void ExpectExactCover(const CandidatePartition& p, std::size_t m) {
+  std::set<std::uint32_t> seen;
+  for (const auto& ids : p.ids_per_part) {
+    for (std::uint32_t id : ids) {
+      EXPECT_TRUE(seen.insert(id).second) << "candidate " << id << " twice";
+      EXPECT_LT(id, m);
+    }
+  }
+  EXPECT_EQ(seen.size(), m);
+}
+
+TEST(RoundRobinPartitionTest, CoversAllCandidatesOnce) {
+  CandidatePartition p = PartitionRoundRobin(101, 7);
+  ASSERT_EQ(p.ids_per_part.size(), 7u);
+  ExpectExactCover(p, 101);
+  EXPECT_TRUE(p.first_item_filter.empty());
+}
+
+TEST(RoundRobinPartitionTest, NearPerfectSizeBalance) {
+  CandidatePartition p = PartitionRoundRobin(100, 8);
+  for (const auto& ids : p.ids_per_part) {
+    EXPECT_GE(ids.size(), 12u);
+    EXPECT_LE(ids.size(), 13u);
+  }
+}
+
+TEST(PrefixPartitionTest, CoversAllCandidatesOnce) {
+  ItemsetCollection col = SkewedCandidates(40, 0, 1);
+  CandidatePartition p = PartitionByPrefix(col, 40, 5,
+                                           PrefixStrategy::kBinPacked);
+  ExpectExactCover(p, col.size());
+}
+
+TEST(PrefixPartitionTest, BitmapMatchesOwnership) {
+  ItemsetCollection col = SkewedCandidates(30, 10, 3);
+  CandidatePartition p = PartitionByPrefix(col, 30, 4,
+                                           PrefixStrategy::kBinPacked,
+                                           /*split_heavy_prefixes=*/false);
+  ASSERT_EQ(p.first_item_filter.size(), 4u);
+  for (int part = 0; part < 4; ++part) {
+    const Bitmap& bm = p.first_item_filter[static_cast<std::size_t>(part)];
+    // Every owned candidate's first item has its bit set.
+    for (std::uint32_t id : p.ids_per_part[static_cast<std::size_t>(part)]) {
+      EXPECT_TRUE(bm.Test(col.Get(id)[0]));
+    }
+    // Without heavy-prefix splitting, first items are exclusive: a bit set
+    // on this part is clear on every other part.
+    for (std::size_t bit = 0; bit < bm.size(); ++bit) {
+      if (!bm.Test(bit)) continue;
+      for (int other = 0; other < 4; ++other) {
+        if (other != part) {
+          EXPECT_FALSE(
+              p.first_item_filter[static_cast<std::size_t>(other)].Test(bit));
+        }
+      }
+    }
+  }
+}
+
+TEST(PrefixPartitionTest, BinPackedBeatsContiguousOnSkew) {
+  // Paper's example: all the candidate mass under the first half of the
+  // items.
+  ItemsetCollection col = SkewedCandidates(100, 50, 8);
+  CandidatePartition packed = PartitionByPrefix(
+      col, 100, 2, PrefixStrategy::kBinPacked, false);
+  CandidatePartition contiguous = PartitionByPrefix(
+      col, 100, 2, PrefixStrategy::kContiguous, false);
+  EXPECT_LT(packed.CandidateBalance().imbalance,
+            contiguous.CandidateBalance().imbalance);
+  EXPECT_GT(contiguous.CandidateBalance().imbalance_percent, 50.0);
+  EXPECT_LT(packed.CandidateBalance().imbalance_percent, 10.0);
+}
+
+TEST(PrefixPartitionTest, HeavyPrefixSplittingCapsDominantItem) {
+  // One item owns nearly every candidate: without splitting one part gets
+  // almost everything; with splitting the load spreads.
+  ItemsetCollection col(2);
+  for (Item second = 1; second <= 64; ++second) {
+    std::vector<Item> s = {0, second};
+    col.Add(ItemSpan(s.data(), 2));
+  }
+  for (Item first = 70; first < 74; ++first) {
+    std::vector<Item> s = {first, first + 1};
+    col.Add(ItemSpan(s.data(), 2));
+  }
+  col.SortLexicographic();
+
+  CandidatePartition no_split = PartitionByPrefix(
+      col, 100, 4, PrefixStrategy::kBinPacked, false);
+  CandidatePartition split = PartitionByPrefix(
+      col, 100, 4, PrefixStrategy::kBinPacked, true);
+  EXPECT_GT(no_split.CandidateBalance().imbalance, 3.0);
+  EXPECT_LT(split.CandidateBalance().imbalance, 1.5);
+  ExpectExactCover(split, col.size());
+
+  // The split item's bit must be set on every part that owns a piece.
+  int parts_with_item0 = 0;
+  for (int part = 0; part < 4; ++part) {
+    bool owns = false;
+    for (std::uint32_t id :
+         split.ids_per_part[static_cast<std::size_t>(part)]) {
+      if (col.Get(id)[0] == 0) owns = true;
+    }
+    if (owns) {
+      ++parts_with_item0;
+      EXPECT_TRUE(
+          split.first_item_filter[static_cast<std::size_t>(part)].Test(0));
+    }
+  }
+  EXPECT_GT(parts_with_item0, 1);
+}
+
+TEST(PrefixPartitionTest, SinglePartOwnsEverything) {
+  ItemsetCollection col = SkewedCandidates(20, 5, 2);
+  CandidatePartition p = PartitionByPrefix(col, 20, 1,
+                                           PrefixStrategy::kBinPacked);
+  ASSERT_EQ(p.ids_per_part.size(), 1u);
+  EXPECT_EQ(p.ids_per_part[0].size(), col.size());
+}
+
+TEST(PrefixPartitionTest, EmptyCandidates) {
+  ItemsetCollection col(2);
+  CandidatePartition p = PartitionByPrefix(col, 10, 4,
+                                           PrefixStrategy::kBinPacked);
+  for (const auto& ids : p.ids_per_part) EXPECT_TRUE(ids.empty());
+}
+
+TEST(PrefixPartitionTest, PaperReportedBalanceBand) {
+  // The paper reports candidate-count imbalance around 1.3% (P=4) and 2.3%
+  // (P=8) on realistic candidate sets; verify the packer achieves a small
+  // imbalance (< 5%) on a random-ish candidate distribution.
+  Prng rng(5);
+  ItemsetCollection col(2);
+  for (Item first = 0; first < 120; ++first) {
+    const std::size_t n = 1 + rng.NextBounded(12);
+    for (std::size_t j = 0; j < n; ++j) {
+      const Item second =
+          first + 1 + static_cast<Item>(rng.NextBounded(60) + j * 60);
+      std::vector<Item> s = {first, second};
+      col.Add(ItemSpan(s.data(), 2));
+    }
+  }
+  col.SortLexicographic();
+  for (int p : {4, 8}) {
+    CandidatePartition part = PartitionByPrefix(
+        col, 1000, p, PrefixStrategy::kBinPacked);
+    EXPECT_LT(part.CandidateBalance().imbalance_percent, 5.0)
+        << "P=" << p;
+  }
+}
+
+}  // namespace
+}  // namespace pam

@@ -1,0 +1,120 @@
+#include "pam/core/itemset_collection.h"
+
+#include <gtest/gtest.h>
+
+namespace pam {
+namespace {
+
+std::vector<Item> ToVec(ItemSpan s) {
+  return std::vector<Item>(s.begin(), s.end());
+}
+
+TEST(ItemsetCollectionTest, AddAndGet) {
+  ItemsetCollection col(3);
+  std::vector<Item> a = {1, 2, 3};
+  std::vector<Item> b = {2, 5, 9};
+  col.Add(ItemSpan(a.data(), a.size()));
+  col.AddWithCount(ItemSpan(b.data(), b.size()), 7);
+  ASSERT_EQ(col.size(), 2u);
+  EXPECT_EQ(ToVec(col.Get(0)), a);
+  EXPECT_EQ(ToVec(col.Get(1)), b);
+  EXPECT_EQ(col.count(0), 0u);
+  EXPECT_EQ(col.count(1), 7u);
+}
+
+TEST(ItemsetCollectionTest, CountMutation) {
+  ItemsetCollection col(1);
+  Item x = 4;
+  col.Add(ItemSpan(&x, 1));
+  col.set_count(0, 10);
+  col.add_count(0, 5);
+  EXPECT_EQ(col.count(0), 15u);
+}
+
+TEST(ItemsetCollectionTest, SortLexicographicPermutesCounts) {
+  ItemsetCollection col(2);
+  std::vector<std::vector<Item>> sets = {{3, 4}, {1, 9}, {1, 2}, {2, 7}};
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    col.AddWithCount(ItemSpan(sets[i].data(), 2), 100 + i);
+  }
+  col.SortLexicographic();
+  ASSERT_TRUE(col.IsSortedUnique());
+  EXPECT_EQ(ToVec(col.Get(0)), (std::vector<Item>{1, 2}));
+  EXPECT_EQ(col.count(0), 102u);
+  EXPECT_EQ(ToVec(col.Get(3)), (std::vector<Item>{3, 4}));
+  EXPECT_EQ(col.count(3), 100u);
+}
+
+TEST(ItemsetCollectionTest, IsSortedUniqueDetectsDuplicates) {
+  ItemsetCollection col(2);
+  std::vector<Item> a = {1, 2};
+  col.Add(ItemSpan(a.data(), 2));
+  col.Add(ItemSpan(a.data(), 2));
+  EXPECT_FALSE(col.IsSortedUnique());
+}
+
+TEST(ItemsetCollectionTest, PruneBelowKeepsOrder) {
+  ItemsetCollection col(1);
+  for (Item x = 0; x < 10; ++x) col.AddWithCount(ItemSpan(&x, 1), x);
+  col.PruneBelow(5);
+  ASSERT_EQ(col.size(), 5u);
+  for (std::size_t i = 0; i < col.size(); ++i) {
+    EXPECT_EQ(col.Get(i)[0], static_cast<Item>(5 + i));
+    EXPECT_EQ(col.count(i), 5 + i);
+  }
+}
+
+TEST(ItemsetCollectionTest, PruneAll) {
+  ItemsetCollection col(1);
+  for (Item x = 0; x < 4; ++x) col.AddWithCount(ItemSpan(&x, 1), 1);
+  col.PruneBelow(2);
+  EXPECT_TRUE(col.empty());
+}
+
+TEST(ItemsetCollectionTest, FindBinarySearch) {
+  ItemsetCollection col(2);
+  for (Item a = 0; a < 8; ++a) {
+    for (Item b = a + 1; b < 8; ++b) {
+      std::vector<Item> s = {a, b};
+      col.Add(ItemSpan(s.data(), 2));
+    }
+  }
+  ASSERT_TRUE(col.IsSortedUnique());
+  std::vector<Item> probe = {3, 6};
+  const std::size_t idx = col.Find(ItemSpan(probe.data(), 2));
+  ASSERT_NE(idx, ItemsetCollection::npos);
+  EXPECT_EQ(ToVec(col.Get(idx)), probe);
+
+  std::vector<Item> missing = {6, 3};  // unsorted would never be stored
+  std::vector<Item> missing2 = {7, 9};
+  EXPECT_EQ(col.Find(ItemSpan(missing2.data(), 2)), ItemsetCollection::npos);
+}
+
+TEST(ItemsetCollectionTest, SerializeRoundTrip) {
+  ItemsetCollection col(3);
+  std::vector<std::vector<Item>> sets = {{1, 2, 3}, {4, 6, 8}, {5, 7, 11}};
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    col.AddWithCount(ItemSpan(sets[i].data(), 3), i * 1000 + 1);
+  }
+  std::vector<std::uint64_t> wire = col.Serialize();
+  ItemsetCollection back =
+      ItemsetCollection::Deserialize(wire.data(), wire.size());
+  ASSERT_EQ(back.k(), 3);
+  ASSERT_EQ(back.size(), col.size());
+  for (std::size_t i = 0; i < col.size(); ++i) {
+    EXPECT_EQ(ToVec(back.Get(i)), ToVec(col.Get(i)));
+    EXPECT_EQ(back.count(i), col.count(i));
+  }
+}
+
+TEST(ItemsetCollectionTest, SerializeEmpty) {
+  ItemsetCollection col(2);
+  std::vector<std::uint64_t> wire = col.Serialize();
+  ItemsetCollection back =
+      ItemsetCollection::Deserialize(wire.data(), wire.size());
+  EXPECT_EQ(back.k(), 2);
+  EXPECT_TRUE(back.empty());
+}
+
+}  // namespace
+}  // namespace pam

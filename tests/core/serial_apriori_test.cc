@@ -1,0 +1,178 @@
+#include "pam/core/serial_apriori.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "pam/datagen/quest_gen.h"
+#include "testing/random_db.h"
+
+namespace pam {
+namespace {
+
+// Reference miner: exhaustive enumeration of all itemsets up to size
+// max_k with support >= minsup. Exponential; test-sized inputs only.
+std::map<std::vector<Item>, Count> BruteForceFrequent(
+    const TransactionDatabase& db, Count minsup, int max_k) {
+  std::map<std::vector<Item>, Count> counts;
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    ItemSpan tx = db.Transaction(t);
+    const std::size_t n = tx.size();
+    // Enumerate all non-empty subsets of at most max_k items.
+    for (std::uint64_t mask = 1; mask < (1ULL << n); ++mask) {
+      if (__builtin_popcountll(mask) > max_k) continue;
+      std::vector<Item> subset;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (mask & (1ULL << i)) subset.push_back(tx[i]);
+      }
+      ++counts[subset];
+    }
+  }
+  std::map<std::vector<Item>, Count> frequent;
+  for (const auto& [set, c] : counts) {
+    if (c >= minsup) frequent[set] = c;
+  }
+  return frequent;
+}
+
+std::map<std::vector<Item>, Count> Flatten(const FrequentItemsets& fi) {
+  std::map<std::vector<Item>, Count> out;
+  for (const auto& level : fi.levels) {
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      ItemSpan s = level.Get(i);
+      out[std::vector<Item>(s.begin(), s.end())] = level.count(i);
+    }
+  }
+  return out;
+}
+
+TEST(SerialAprioriTest, SupermarketExample) {
+  // Table I: with minsup count 3, {Diaper, Milk} is frequent with count 3.
+  TransactionDatabase db = testing::SupermarketDb();
+  AprioriConfig cfg;
+  cfg.minsup_count = 3;
+  SerialResult result = MineSerial(db, cfg);
+
+  Count c = 0;
+  std::vector<Item> dm = {testing::kDiaper, testing::kMilk};
+  ASSERT_TRUE(result.frequent.Lookup(ItemSpan(dm.data(), 2), &c));
+  EXPECT_EQ(c, 3u);
+
+  // {Diaper, Milk, Beer} has support 2 < 3: not frequent.
+  std::vector<Item> dmb = {testing::kBeer, testing::kDiaper, testing::kMilk};
+  EXPECT_FALSE(result.frequent.Lookup(ItemSpan(dmb.data(), 3), nullptr));
+}
+
+TEST(SerialAprioriTest, MatchesBruteForceOnRandomDbs) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    TransactionDatabase db = testing::RandomDb(60, 12, 8, seed);
+    AprioriConfig cfg;
+    cfg.minsup_count = 5;
+    SerialResult result = MineSerial(db, cfg);
+    auto expected = BruteForceFrequent(db, 5, /*max_k=*/8);
+    auto actual = Flatten(result.frequent);
+    EXPECT_EQ(actual, expected) << "seed " << seed;
+  }
+}
+
+TEST(SerialAprioriTest, MinsupFractionResolution) {
+  AprioriConfig cfg;
+  cfg.minsup_fraction = 0.01;
+  EXPECT_EQ(cfg.ResolveMinsup(1000), 10u);
+  EXPECT_EQ(cfg.ResolveMinsup(50), 1u);
+  cfg.minsup_count = 7;
+  EXPECT_EQ(cfg.ResolveMinsup(1000), 7u);  // absolute wins
+  AprioriConfig tiny;
+  tiny.minsup_fraction = 0.0001;
+  EXPECT_EQ(tiny.ResolveMinsup(10), 1u);  // never below 1
+}
+
+TEST(SerialAprioriTest, MaxKStopsEarly) {
+  TransactionDatabase db = testing::RandomDb(100, 8, 6, 9);
+  AprioriConfig cfg;
+  cfg.minsup_count = 2;
+  cfg.max_k = 2;
+  SerialResult result = MineSerial(db, cfg);
+  EXPECT_LE(result.frequent.MaxK(), 2);
+  EXPECT_LE(result.passes.size(), 2u);
+}
+
+TEST(SerialAprioriTest, MemoryCapProducesSameAnswerWithMoreScans) {
+  TransactionDatabase db = GenerateQuest([] {
+    QuestConfig q;
+    q.num_transactions = 800;
+    q.num_items = 60;
+    q.avg_transaction_len = 8;
+    q.avg_pattern_len = 3;
+    q.seed = 4;
+    return q;
+  }());
+  AprioriConfig unlimited;
+  unlimited.minsup_fraction = 0.02;
+  SerialResult full = MineSerial(db, unlimited);
+
+  AprioriConfig capped = unlimited;
+  capped.max_candidates_in_memory = 10;
+  SerialResult chunked = MineSerial(db, capped);
+
+  EXPECT_EQ(Flatten(full.frequent), Flatten(chunked.frequent));
+  // At least one pass must have needed multiple scans.
+  bool multi_scan = false;
+  for (const auto& pass : chunked.passes) {
+    if (pass.db_scans > 1) multi_scan = true;
+  }
+  EXPECT_TRUE(multi_scan);
+}
+
+TEST(SerialAprioriTest, SliceRestrictsMining) {
+  TransactionDatabase db;
+  db.Add({1, 2});
+  db.Add({1, 2});
+  db.Add({3, 4});
+  db.Add({3, 4});
+  AprioriConfig cfg;
+  cfg.minsup_count = 2;
+  SerialResult first_half = MineSerial(db, {0, 2}, cfg);
+  std::vector<Item> s12 = {1, 2};
+  std::vector<Item> s34 = {3, 4};
+  EXPECT_TRUE(first_half.frequent.Lookup(ItemSpan(s12.data(), 2), nullptr));
+  EXPECT_FALSE(first_half.frequent.Lookup(ItemSpan(s34.data(), 2), nullptr));
+}
+
+TEST(SerialAprioriTest, PassInfoIsConsistent) {
+  TransactionDatabase db = testing::RandomDb(200, 15, 8, 10);
+  AprioriConfig cfg;
+  cfg.minsup_count = 10;
+  SerialResult result = MineSerial(db, cfg);
+  ASSERT_FALSE(result.passes.empty());
+  EXPECT_EQ(result.passes[0].k, 1);
+  for (std::size_t p = 1; p < result.passes.size(); ++p) {
+    const auto& pass = result.passes[p];
+    EXPECT_EQ(pass.k, static_cast<int>(p) + 1);
+    EXPECT_LE(pass.num_frequent, pass.num_candidates);
+    if (p < result.frequent.levels.size()) {
+      EXPECT_EQ(pass.num_frequent, result.frequent.levels[p].size());
+    }
+    EXPECT_EQ(pass.subset.transactions, db.size());
+  }
+}
+
+TEST(SerialAprioriTest, EmptyDatabase) {
+  TransactionDatabase db;
+  AprioriConfig cfg;
+  cfg.minsup_count = 1;
+  SerialResult result = MineSerial(db, cfg);
+  EXPECT_EQ(result.frequent.TotalCount(), 0u);
+}
+
+TEST(SerialAprioriTest, HighMinsupYieldsNothing) {
+  TransactionDatabase db = testing::RandomDb(50, 20, 5, 11);
+  AprioriConfig cfg;
+  cfg.minsup_count = 1000;
+  SerialResult result = MineSerial(db, cfg);
+  EXPECT_EQ(result.frequent.TotalCount(), 0u);
+}
+
+}  // namespace
+}  // namespace pam

@@ -1,0 +1,124 @@
+#include <filesystem>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "pam/core/rulegen.h"
+#include "pam/core/serial_apriori.h"
+#include "pam/datagen/quest_gen.h"
+#include "pam/model/cost_model.h"
+#include "pam/parallel/driver.h"
+#include "pam/tdb/io.h"
+
+namespace pam {
+namespace {
+
+// Full pipeline: generate -> persist -> reload -> mine in parallel ->
+// generate rules -> estimate machine time. Exercises every library layer
+// the way the examples and benches do.
+TEST(EndToEndTest, GenerateStoreMineRules) {
+  QuestConfig q;
+  q.num_transactions = 1000;
+  q.num_items = 100;
+  q.avg_transaction_len = 8;
+  q.avg_pattern_len = 3;
+  q.num_patterns = 50;
+  q.seed = 21;
+  TransactionDatabase generated = GenerateQuest(q);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "pam_e2e.bin").string();
+  ASSERT_TRUE(WriteBinary(generated, path).ok());
+  auto loaded = ReadBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  std::filesystem::remove(path);
+  const TransactionDatabase& db = loaded.value();
+
+  ParallelConfig cfg;
+  cfg.apriori.minsup_fraction = 0.015;
+  cfg.hd_threshold_m = 200;
+  ParallelResult result = MineParallel(Algorithm::kHD, db, 6, cfg);
+  ASSERT_GT(result.frequent.TotalCount(), 0u);
+
+  // Rules from the parallel-mined frequent sets.
+  std::vector<Rule> rules = GenerateRules(result.frequent, db.size(), 0.5);
+  for (const Rule& r : rules) {
+    EXPECT_GE(r.confidence, 0.5);
+    EXPECT_GT(r.support, 0.0);
+    // The rule's joint itemset must itself be frequent.
+    std::vector<Item> joint(r.antecedent);
+    joint.insert(joint.end(), r.consequent.begin(), r.consequent.end());
+    std::sort(joint.begin(), joint.end());
+    Count c = 0;
+    EXPECT_TRUE(
+        result.frequent.Lookup(ItemSpan(joint.data(), joint.size()), &c));
+    EXPECT_EQ(c, r.joint_count);
+  }
+
+  // Machine-model estimate is finite and positive.
+  CostModel model(MachineModel::CrayT3E());
+  const double seconds = model.RunTime(Algorithm::kHD, result.metrics);
+  EXPECT_GT(seconds, 0.0);
+  EXPECT_LT(seconds, 1e6);
+}
+
+// The Figure-10 relationship in miniature: on a fixed workload, the cost
+// model must rank DD above (slower than) DD+comm above IDD, and HD at or
+// below CD, mirroring the paper's scaleup ordering.
+TEST(EndToEndTest, ModeledResponseTimesFollowPaperOrdering) {
+  QuestConfig q;
+  q.num_transactions = 1500;
+  q.num_items = 150;
+  q.avg_transaction_len = 10;
+  q.avg_pattern_len = 4;
+  q.num_patterns = 80;
+  q.seed = 5;
+  TransactionDatabase db = GenerateQuest(q);
+
+  ParallelConfig cfg;
+  cfg.apriori.minsup_fraction = 0.01;
+  cfg.page_bytes = 2048;
+  cfg.hd_threshold_m = 200;
+  const int p = 8;
+
+  CostModel model(MachineModel::CrayT3E());
+  std::map<Algorithm, double> seconds;
+  for (Algorithm alg : {Algorithm::kCD, Algorithm::kDD, Algorithm::kDDComm,
+                        Algorithm::kIDD, Algorithm::kHD}) {
+    ParallelResult r = MineParallel(alg, db, p, cfg);
+    seconds[alg] = model.RunTime(alg, r.metrics);
+  }
+  EXPECT_GT(seconds[Algorithm::kDD], seconds[Algorithm::kDDComm]);
+  EXPECT_GT(seconds[Algorithm::kDDComm], seconds[Algorithm::kIDD]);
+  EXPECT_LE(seconds[Algorithm::kHD], seconds[Algorithm::kCD] * 1.10);
+}
+
+// Scaleup property (Figure 10's x-axis): with transactions per rank fixed,
+// CD and HD response times stay roughly flat as P grows.
+TEST(EndToEndTest, CdAndHdScaleupRoughlyFlat) {
+  CostModel model(MachineModel::CrayT3E());
+  std::map<int, std::map<Algorithm, double>> t;
+  for (int p : {2, 8}) {
+    QuestConfig q;
+    q.num_transactions = static_cast<std::size_t>(300) * p;
+    q.num_items = 100;
+    q.avg_transaction_len = 8;
+    q.avg_pattern_len = 3;
+    q.num_patterns = 50;
+    q.seed = 77;  // same pattern pool statistics at both scales
+    TransactionDatabase db = GenerateQuest(q);
+    ParallelConfig cfg;
+    cfg.apriori.minsup_fraction = 0.02;
+    cfg.hd_threshold_m = 100;
+    for (Algorithm alg : {Algorithm::kCD, Algorithm::kHD}) {
+      ParallelResult r = MineParallel(alg, db, p, cfg);
+      t[p][alg] = model.RunTime(alg, r.metrics);
+    }
+  }
+  // Allow generous tolerance: candidates differ a bit between scales.
+  EXPECT_LT(t[8][Algorithm::kCD], t[2][Algorithm::kCD] * 3.0);
+  EXPECT_LT(t[8][Algorithm::kHD], t[2][Algorithm::kHD] * 3.0);
+}
+
+}  // namespace
+}  // namespace pam

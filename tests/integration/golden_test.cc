@@ -1,0 +1,83 @@
+// Golden regression tests: a fixed-seed workload must produce exactly
+// these frequent-itemset counts per pass, for the serial miner and for
+// every parallel formulation. Any change to the generator, apriori_gen,
+// the hash tree, or the parallel protocols that alters behavior shows up
+// here immediately.
+
+#include <gtest/gtest.h>
+
+#include "pam/core/serial_apriori.h"
+#include "pam/datagen/quest_gen.h"
+#include "pam/parallel/driver.h"
+
+namespace pam {
+namespace {
+
+TransactionDatabase GoldenDb() {
+  QuestConfig q;
+  q.num_transactions = 1000;
+  q.num_items = 100;
+  q.avg_transaction_len = 8;
+  q.avg_pattern_len = 3;
+  q.num_patterns = 40;
+  q.correlation = 0.5;
+  q.corruption_mean = 0.5;
+  q.seed = 20260706;
+  return GenerateQuest(q);
+}
+
+// Captured once from a verified run (all formulations agree with the
+// serial miner and the serial miner agrees with brute force on sibling
+// workloads). If an intentional change alters these, re-capture.
+struct Golden {
+  std::size_t num_transactions;
+  std::size_t total_items;
+  std::vector<std::size_t> frequent_per_level;
+};
+
+Golden CaptureActual() {
+  TransactionDatabase db = GoldenDb();
+  AprioriConfig cfg;
+  cfg.minsup_fraction = 0.02;
+  SerialResult result = MineSerial(db, cfg);
+  Golden g;
+  g.num_transactions = db.size();
+  g.total_items = db.TotalItems();
+  for (const auto& level : result.frequent.levels) {
+    g.frequent_per_level.push_back(level.size());
+  }
+  return g;
+}
+
+TEST(GoldenTest, WorkloadIsStable) {
+  const Golden actual = CaptureActual();
+  EXPECT_EQ(actual.num_transactions, 1000u);
+  // The generator is deterministic: any change to Prng or the pattern
+  // pool construction changes this count.
+  EXPECT_EQ(actual.total_items, 7194u);
+}
+
+TEST(GoldenTest, SerialFrequentCountsAreStable) {
+  const Golden actual = CaptureActual();
+  const std::vector<std::size_t> expected = {45, 320, 561, 364, 108, 11};
+  EXPECT_EQ(actual.frequent_per_level, expected);
+}
+
+TEST(GoldenTest, EveryFormulationReproducesTheGoldenCounts) {
+  TransactionDatabase db = GoldenDb();
+  ParallelConfig cfg;
+  cfg.apriori.minsup_fraction = 0.02;
+  const Golden golden = CaptureActual();
+  for (Algorithm alg : {Algorithm::kCD, Algorithm::kDD, Algorithm::kDDComm,
+                        Algorithm::kIDD, Algorithm::kHD, Algorithm::kHPA}) {
+    ParallelResult result = MineParallel(alg, db, 3, cfg);
+    std::vector<std::size_t> counts;
+    for (const auto& level : result.frequent.levels) {
+      counts.push_back(level.size());
+    }
+    EXPECT_EQ(counts, golden.frequent_per_level) << AlgorithmName(alg);
+  }
+}
+
+}  // namespace
+}  // namespace pam

@@ -1,0 +1,162 @@
+#include "pam/model/analytic.h"
+
+#include <gtest/gtest.h>
+
+namespace pam {
+namespace {
+
+AnalyticWorkload PaperScale() {
+  AnalyticWorkload w;
+  w.num_transactions = 1.3e6;
+  w.num_candidates = 0.7e6;
+  w.avg_transaction_items = 15;
+  w.pass_k = 3;
+  w.avg_leaf_candidates = 16;
+  w.num_processors = 64;
+  w.hd_grid_rows = 8;
+  return w;
+}
+
+TEST(AnalyticTest, PotentialCandidatesIsBinomial) {
+  AnalyticWorkload w;
+  w.avg_transaction_items = 15;
+  w.pass_k = 2;
+  EXPECT_DOUBLE_EQ(w.PotentialCandidates(), 105.0);
+  w.pass_k = 3;
+  EXPECT_DOUBLE_EQ(w.PotentialCandidates(), 455.0);
+}
+
+TEST(AnalyticTest, CdEfficiencyHighAtPaperScale) {
+  // Eq. 4 vs Eq. 3: CD's only overheads are tree build and the reduction;
+  // at the paper's N/P = 20K transactions per processor it stays
+  // reasonably efficient but visibly below 1.
+  const MachineModel machine = MachineModel::CrayT3E();
+  const double e = PredictEfficiency(Algorithm::kCD, PaperScale(), machine);
+  EXPECT_GT(e, 0.3);
+  EXPECT_LT(e, 1.0);
+}
+
+TEST(AnalyticTest, DdSlowerThanIddEverywhere) {
+  const MachineModel machine = MachineModel::CrayT3E();
+  for (int p : {2, 8, 32, 128}) {
+    AnalyticWorkload w = PaperScale();
+    w.num_processors = p;
+    EXPECT_GT(PredictParallelPassSeconds(Algorithm::kDD, w, machine),
+              PredictParallelPassSeconds(Algorithm::kIDD, w, machine))
+        << "P=" << p;
+    EXPECT_GT(PredictParallelPassSeconds(Algorithm::kDD, w, machine),
+              PredictParallelPassSeconds(Algorithm::kDDComm, w, machine))
+        << "P=" << p;
+  }
+}
+
+TEST(AnalyticTest, DdRedundantWorkMatchesSectionIv) {
+  // The analysis's central inequality: DD's per-pass checking work
+  // N * V(C, L/P) exceeds the serial N * V(C, L) / P share — so DD's
+  // total time degrades relative to CD as P grows even with free
+  // communication.
+  MachineModel free_comm = MachineModel::CrayT3E();
+  free_comm.bandwidth = 1e18;
+  free_comm.latency = 0;
+  free_comm.dd_contention = 1.0;
+  AnalyticWorkload w = PaperScale();
+  double prev_ratio = 0.0;
+  for (int p : {4, 16, 64}) {
+    w.num_processors = p;
+    const double dd =
+        PredictParallelPassSeconds(Algorithm::kDD, w, free_comm);
+    const double cd =
+        PredictParallelPassSeconds(Algorithm::kCD, w, free_comm);
+    const double ratio = dd / cd;
+    EXPECT_GT(ratio, prev_ratio) << "P=" << p;
+    prev_ratio = ratio;
+  }
+  EXPECT_GT(prev_ratio, 2.0);
+}
+
+TEST(AnalyticTest, HdInterpolatesCdAndIdd) {
+  const MachineModel machine = MachineModel::CrayT3E();
+  AnalyticWorkload w = PaperScale();
+  // G = 1 reproduces Eq. 4 (CD) exactly.
+  w.hd_grid_rows = 1;
+  EXPECT_NEAR(PredictParallelPassSeconds(Algorithm::kHD, w, machine),
+              PredictParallelPassSeconds(Algorithm::kCD, w, machine),
+              1e-12);
+  // G = P reproduces Eq. 6 (IDD) exactly.
+  w.hd_grid_rows = w.num_processors;
+  EXPECT_NEAR(PredictParallelPassSeconds(Algorithm::kHD, w, machine),
+              PredictParallelPassSeconds(Algorithm::kIDD, w, machine),
+              1e-12);
+}
+
+TEST(AnalyticTest, HdBeatsCdInTheEquation8Band) {
+  // When M is large relative to N/P there is a G strictly between 1 and
+  // M*P/N where HD outperforms CD (Eq. 8).
+  const MachineModel machine = MachineModel::CrayT3E();
+  AnalyticWorkload w = PaperScale();
+  w.num_candidates = 4e6;  // M >> N/P regime (paper Figure 15's right)
+  const double upper_g = HdAdvantageUpperG(w);
+  EXPECT_GT(upper_g, 1.0);
+  const double cd = PredictParallelPassSeconds(Algorithm::kCD, w, machine);
+  bool any_better = false;
+  for (int g : {2, 4, 8, 16, 32, 64}) {
+    if (g > w.num_processors) break;
+    w.hd_grid_rows = g;
+    if (PredictParallelPassSeconds(Algorithm::kHD, w, machine) < cd) {
+      any_better = true;
+    }
+  }
+  EXPECT_TRUE(any_better);
+}
+
+TEST(AnalyticTest, CdScalesWithNButNotWithM) {
+  // Section IV's scalability claims: CD's efficiency is maintained as N
+  // grows with P (scaleup) but collapses as M grows with P.
+  const MachineModel machine = MachineModel::CrayT3E();
+  AnalyticWorkload small = PaperScale();
+  small.num_processors = 8;
+  small.num_transactions = 8 * 50e3;
+
+  AnalyticWorkload big = small;
+  big.num_processors = 128;
+  big.num_transactions = 128 * 50e3;
+  const double e_small = PredictEfficiency(Algorithm::kCD, small, machine);
+  const double e_big = PredictEfficiency(Algorithm::kCD, big, machine);
+  // Scaleup in N: efficiency nearly flat.
+  EXPECT_GT(e_big, e_small * 0.8);
+
+  // Growing M instead: efficiency falls.
+  AnalyticWorkload big_m = small;
+  big_m.num_processors = 128;
+  big_m.num_candidates = small.num_candidates * 16;
+  EXPECT_LT(PredictEfficiency(Algorithm::kCD, big_m, machine),
+            e_small * 0.7);
+}
+
+TEST(AnalyticTest, IddLosesEfficiencyAsPGrowsWithFixedProblem) {
+  const MachineModel machine = MachineModel::CrayT3E();
+  AnalyticWorkload w = PaperScale();
+  double prev = 1.0;
+  for (int p : {4, 16, 64, 256}) {
+    w.num_processors = p;
+    const double e = PredictEfficiency(Algorithm::kIDD, w, machine);
+    EXPECT_LT(e, prev + 1e-9) << "P=" << p;
+    prev = e;
+  }
+}
+
+TEST(AnalyticTest, HpaVolumeGrowsWithK) {
+  const MachineModel machine = MachineModel::CrayT3E();
+  AnalyticWorkload w = PaperScale();
+  w.num_processors = 16;
+  w.pass_k = 2;
+  const double t2 =
+      PredictParallelPassSeconds(Algorithm::kHPA, w, machine);
+  w.pass_k = 4;
+  const double t4 =
+      PredictParallelPassSeconds(Algorithm::kHPA, w, machine);
+  EXPECT_GT(t4, t2 * 5.0);
+}
+
+}  // namespace
+}  // namespace pam

@@ -1,0 +1,129 @@
+#include "pam/model/vij.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "pam/util/prng.h"
+
+namespace pam {
+namespace {
+
+TEST(VijTest, BaseCases) {
+  EXPECT_DOUBLE_EQ(ExpectedDistinctLeaves(0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(ExpectedDistinctLeaves(1, 10), 1.0);
+  EXPECT_DOUBLE_EQ(ExpectedDistinctLeaves(5, 1), 1.0);
+}
+
+TEST(VijTest, ClosedFormMatchesRecurrence) {
+  for (double j : {2.0, 5.0, 17.0, 100.0, 12345.0}) {
+    for (std::uint64_t i : {1ull, 2ull, 3ull, 10ull, 50ull, 500ull}) {
+      EXPECT_NEAR(ExpectedDistinctLeaves(static_cast<double>(i), j),
+                  ExpectedDistinctLeavesRecurrence(i, j),
+                  1e-9 * j)
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(VijTest, LargeTreeLimitIsI) {
+  // Paper Equation 2: lim_{j->inf} V_{i,j} = i.
+  for (double i : {1.0, 7.0, 100.0}) {
+    EXPECT_NEAR(ExpectedDistinctLeaves(i, 1e12), i, 1e-6 * i);
+  }
+}
+
+TEST(VijTest, BoundedByLeavesAndCandidates) {
+  for (double i : {1.0, 10.0, 1000.0}) {
+    for (double j : {2.0, 10.0, 1000.0}) {
+      const double v = ExpectedDistinctLeaves(i, j);
+      EXPECT_LE(v, j + 1e-9);
+      EXPECT_LE(v, i + 1e-9);
+      EXPECT_GE(v, 1.0 - 1e-9);
+    }
+  }
+}
+
+TEST(VijTest, MonotoneInCandidatesAndLeaves) {
+  EXPECT_LT(ExpectedDistinctLeaves(5, 50), ExpectedDistinctLeaves(10, 50));
+  EXPECT_LT(ExpectedDistinctLeaves(100, 20), ExpectedDistinctLeaves(100, 80));
+}
+
+TEST(VijTest, SublinearShrinkKeyToDdRedundancy) {
+  // The paper's core observation about DD: V_{C, L/P} > V_{C,L} / P, i.e.
+  // shrinking the tree P-fold shrinks per-tree leaf visits by less than P,
+  // so P partitioned trees do more total checking than one full tree.
+  const double c = 100.0;
+  const double l = 200.0;
+  for (double p : {2.0, 4.0, 8.0, 16.0}) {
+    EXPECT_GT(ExpectedDistinctLeaves(c, l / p),
+              ExpectedDistinctLeaves(c, l) / p)
+        << "P=" << p;
+  }
+}
+
+TEST(VijTest, IddScalingBeatsDd) {
+  // IDD shrinks *both* C and L by P: V_{C/P, L/P} * P stays close to
+  // V_{C,L}, unlike DD's V_{C, L/P} * P which blows up.
+  const double c = 120.0;
+  const double l = 240.0;
+  const double serial = ExpectedDistinctLeaves(c, l);
+  for (double p : {2.0, 4.0, 8.0}) {
+    const double idd_total = p * ExpectedDistinctLeaves(c / p, l / p);
+    const double dd_total = p * ExpectedDistinctLeaves(c, l / p);
+    EXPECT_LT(idd_total, dd_total);
+    EXPECT_NEAR(idd_total, serial, 0.15 * serial);
+  }
+}
+
+TEST(VijTest, MatchesMonteCarloSimulation) {
+  // Throw i balls into j bins uniformly; count distinct bins hit.
+  Prng rng(99);
+  for (auto [i, j] : std::vector<std::pair<int, int>>{
+           {5, 10}, {30, 10}, {10, 100}, {200, 50}}) {
+    const int trials = 4000;
+    double total_distinct = 0.0;
+    std::vector<int> mark(static_cast<std::size_t>(j), -1);
+    for (int t = 0; t < trials; ++t) {
+      int distinct = 0;
+      for (int b = 0; b < i; ++b) {
+        const std::size_t bin = rng.NextBounded(static_cast<std::uint64_t>(j));
+        if (mark[bin] != t) {
+          mark[bin] = t;
+          ++distinct;
+        }
+      }
+      total_distinct += distinct;
+    }
+    const double simulated = total_distinct / trials;
+    const double predicted = ExpectedDistinctLeaves(i, j);
+    EXPECT_NEAR(simulated, predicted, 0.03 * predicted)
+        << "i=" << i << " j=" << j;
+  }
+}
+
+TEST(BinomialTest, SmallValues) {
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(15, 3), 455.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(3, 7), 0.0);
+}
+
+TEST(BinomialTest, SymmetryAndPascal) {
+  for (std::uint64_t n = 1; n <= 20; ++n) {
+    for (std::uint64_t k = 0; k <= n; ++k) {
+      EXPECT_NEAR(BinomialCoefficient(n, k), BinomialCoefficient(n, n - k),
+                  1e-6);
+      if (k >= 1 && k <= n - 1) {
+        EXPECT_NEAR(BinomialCoefficient(n, k),
+                    BinomialCoefficient(n - 1, k - 1) +
+                        BinomialCoefficient(n - 1, k),
+                    1e-6);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pam

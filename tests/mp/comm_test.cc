@@ -1,0 +1,306 @@
+#include "pam/mp/comm.h"
+
+#include <atomic>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "pam/mp/runtime.h"
+#include "pam/util/prng.h"
+
+namespace pam {
+namespace {
+
+TEST(CommTest, PointToPointDelivers) {
+  Runtime rt(2);
+  rt.Run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::uint32_t> payload = {1, 2, 3};
+      comm.SendVec(1, 7, payload);
+    } else {
+      std::vector<std::uint32_t> got = comm.RecvVec<std::uint32_t>(0, 7);
+      EXPECT_EQ(got, (std::vector<std::uint32_t>{1, 2, 3}));
+    }
+  });
+}
+
+TEST(CommTest, TagsDemultiplex) {
+  Runtime rt(2);
+  rt.Run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.SendVec<std::uint32_t>(1, 5, {55});
+      comm.SendVec<std::uint32_t>(1, 4, {44});
+    } else {
+      // Receive in the opposite order of sending.
+      EXPECT_EQ(comm.RecvVec<std::uint32_t>(0, 4)[0], 44u);
+      EXPECT_EQ(comm.RecvVec<std::uint32_t>(0, 5)[0], 55u);
+    }
+  });
+}
+
+TEST(CommTest, FifoPerSourceAndTag) {
+  Runtime rt(2);
+  rt.Run([](Comm& comm) {
+    const int n = 200;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < n; ++i) {
+        comm.SendVec<std::uint32_t>(1, 3, {static_cast<std::uint32_t>(i)});
+      }
+    } else {
+      for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(comm.RecvVec<std::uint32_t>(0, 3)[0],
+                  static_cast<std::uint32_t>(i));
+      }
+    }
+  });
+}
+
+TEST(CommTest, AnySourceReceivesAll) {
+  const int p = 5;
+  Runtime rt(p);
+  rt.Run([p](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<bool> seen(static_cast<std::size_t>(p), false);
+      for (int i = 0; i < p - 1; ++i) {
+        int src = -1;
+        std::vector<std::uint32_t> v =
+            comm.RecvVec<std::uint32_t>(-1, 9, &src);
+        EXPECT_EQ(v[0], static_cast<std::uint32_t>(src));
+        seen[static_cast<std::size_t>(src)] = true;
+      }
+      for (int r = 1; r < p; ++r) EXPECT_TRUE(seen[static_cast<std::size_t>(r)]);
+    } else {
+      comm.SendVec<std::uint32_t>(0, 9,
+                                  {static_cast<std::uint32_t>(comm.rank())});
+    }
+  });
+}
+
+TEST(CommTest, TryRecvNonBlocking) {
+  Runtime rt(2);
+  rt.Run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::byte> data;
+      EXPECT_FALSE(comm.TryRecv(1, 11, &data));  // nothing sent yet
+      comm.Barrier();
+      comm.Barrier();  // rank 1 sends between the barriers
+      EXPECT_TRUE(comm.TryRecv(1, 11, &data));
+      EXPECT_EQ(data.size(), 4u);
+    } else {
+      comm.Barrier();
+      comm.SendVec<std::uint32_t>(0, 11, {1});
+      comm.Barrier();
+    }
+  });
+}
+
+TEST(CommTest, BarrierSynchronizes) {
+  const int p = 8;
+  Runtime rt(p);
+  std::atomic<int> phase_counter{0};
+  rt.Run([&phase_counter](Comm& comm) {
+    for (int phase = 0; phase < 10; ++phase) {
+      ++phase_counter;
+      comm.Barrier();
+      // After the barrier every rank must have bumped the counter.
+      EXPECT_GE(phase_counter.load(), (phase + 1) * comm.size());
+      comm.Barrier();
+    }
+  });
+}
+
+TEST(CommTest, AllReduceSumsEverywhere) {
+  const int p = 7;
+  Runtime rt(p);
+  rt.Run([](Comm& comm) {
+    std::vector<std::uint64_t> vals = {
+        static_cast<std::uint64_t>(comm.rank()), 1,
+        static_cast<std::uint64_t>(comm.rank()) * 10};
+    comm.AllReduceSum(std::span<std::uint64_t>(vals));
+    const std::uint64_t ranks_sum = 21;  // 0+..+6
+    EXPECT_EQ(vals[0], ranks_sum);
+    EXPECT_EQ(vals[1], static_cast<std::uint64_t>(comm.size()));
+    EXPECT_EQ(vals[2], ranks_sum * 10);
+  });
+}
+
+TEST(CommTest, AllReduceSumsPowerOfTwo) {
+  // Exercises the recursive-doubling path (group size is a power of two).
+  const int p = 8;
+  Runtime rt(p);
+  rt.Run([](Comm& comm) {
+    std::vector<std::uint64_t> vals(100);
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      vals[i] = static_cast<std::uint64_t>(comm.rank()) * 1000 + i;
+    }
+    comm.AllReduceSum(std::span<std::uint64_t>(vals));
+    const std::uint64_t rank_sum = 28;  // 0+..+7
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      EXPECT_EQ(vals[i], rank_sum * 1000 + 8 * i);
+    }
+  });
+}
+
+TEST(CommTest, RepeatedAllReducesStayAligned) {
+  const int p = 4;
+  Runtime rt(p);
+  rt.Run([](Comm& comm) {
+    for (std::uint64_t round = 0; round < 50; ++round) {
+      std::vector<std::uint64_t> v = {round};
+      comm.AllReduceSum(std::span<std::uint64_t>(v));
+      EXPECT_EQ(v[0], round * 4);
+    }
+  });
+}
+
+TEST(CommTest, AllGatherCollectsInRankOrder) {
+  const int p = 6;
+  Runtime rt(p);
+  rt.Run([](Comm& comm) {
+    std::vector<std::uint32_t> mine(
+        static_cast<std::size_t>(comm.rank()) + 1,
+        static_cast<std::uint32_t>(comm.rank()));
+    auto blobs = comm.AllGather(std::span<const std::byte>(
+        reinterpret_cast<const std::byte*>(mine.data()),
+        mine.size() * sizeof(std::uint32_t)));
+    ASSERT_EQ(blobs.size(), static_cast<std::size_t>(comm.size()));
+    for (int r = 0; r < comm.size(); ++r) {
+      const auto& blob = blobs[static_cast<std::size_t>(r)];
+      ASSERT_EQ(blob.size(), (static_cast<std::size_t>(r) + 1) * 4);
+      const auto* vals = reinterpret_cast<const std::uint32_t*>(blob.data());
+      for (int i = 0; i <= r; ++i) {
+        EXPECT_EQ(vals[i], static_cast<std::uint32_t>(r));
+      }
+    }
+  });
+}
+
+TEST(CommTest, BcastDistributesRootData) {
+  Runtime rt(5);
+  rt.Run([](Comm& comm) {
+    std::vector<std::byte> data;
+    if (comm.rank() == 2) {
+      data = {std::byte{9}, std::byte{8}};
+    }
+    std::vector<std::byte> got = comm.Bcast(2, data);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], std::byte{9});
+  });
+}
+
+TEST(CommTest, IrecvWaitMatchesIsend) {
+  Runtime rt(2);
+  rt.Run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      RecvRequest req = comm.Irecv(1, 13);
+      std::vector<std::uint32_t> payload = {77};
+      comm.Isend(1, 13, std::span<const std::byte>(
+                            reinterpret_cast<const std::byte*>(payload.data()),
+                            4));
+      comm.Wait(req);
+      EXPECT_EQ(req.data().size(), 4u);
+    } else {
+      RecvRequest req = comm.Irecv(0, 13);
+      std::vector<std::uint32_t> payload = {88};
+      comm.Isend(0, 13, std::span<const std::byte>(
+                            reinterpret_cast<const std::byte*>(payload.data()),
+                            4));
+      comm.Wait(req);
+      const auto* v = reinterpret_cast<const std::uint32_t*>(req.data().data());
+      EXPECT_EQ(*v, 77u);
+    }
+  });
+}
+
+TEST(CommTest, RingNeighbors) {
+  Runtime rt(4);
+  rt.Run([](Comm& comm) {
+    EXPECT_EQ(comm.RightNeighbor(), (comm.rank() + 1) % 4);
+    EXPECT_EQ(comm.LeftNeighbor(), (comm.rank() + 3) % 4);
+  });
+}
+
+TEST(CommTest, SubCommunicatorIsolatesTraffic) {
+  const int p = 6;
+  Runtime rt(p);
+  rt.Run([](Comm& comm) {
+    // Two groups: even and odd ranks.
+    std::vector<int> members;
+    for (int r = comm.rank() % 2; r < comm.size(); r += 2) {
+      members.push_back(r);
+    }
+    Comm sub = comm.Sub(members, /*label=*/comm.rank() % 2 == 0 ? 100 : 200);
+    EXPECT_EQ(sub.size(), 3);
+    // Reduce within the group: sums differ between groups.
+    std::vector<std::uint64_t> v = {static_cast<std::uint64_t>(comm.rank())};
+    sub.AllReduceSum(std::span<std::uint64_t>(v));
+    if (comm.rank() % 2 == 0) {
+      EXPECT_EQ(v[0], 0u + 2 + 4);
+    } else {
+      EXPECT_EQ(v[0], 1u + 3 + 5);
+    }
+  });
+}
+
+TEST(CommTest, NestedSubCommunicators) {
+  // 2x2 grid from 4 ranks: row comms then column comms, HD-style.
+  Runtime rt(4);
+  rt.Run([](Comm& comm) {
+    const int row = comm.rank() / 2;
+    const int col = comm.rank() % 2;
+    Comm row_comm = comm.Sub({row * 2, row * 2 + 1}, 1);
+    Comm col_comm = comm.Sub({col, col + 2}, 2);
+    EXPECT_EQ(row_comm.size(), 2);
+    EXPECT_EQ(col_comm.size(), 2);
+
+    std::vector<std::uint64_t> v = {1};
+    row_comm.AllReduceSum(std::span<std::uint64_t>(v));
+    EXPECT_EQ(v[0], 2u);
+    col_comm.AllReduceSum(std::span<std::uint64_t>(v));
+    EXPECT_EQ(v[0], 4u);
+  });
+}
+
+TEST(CommTest, TrafficCountersAccumulate) {
+  Runtime rt(2);
+  rt.Run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.SendVec<std::uint32_t>(1, 1, {1, 2, 3, 4});
+    } else {
+      comm.RecvVec<std::uint32_t>(0, 1);
+    }
+  });
+  EXPECT_EQ(rt.TotalBytesSent(), 16u);
+  EXPECT_EQ(rt.TotalMessagesSent(), 1u);
+}
+
+TEST(CommTest, RandomizedMessageStorm) {
+  // Every rank sends a random-but-deterministic workload to every other
+  // rank; receivers verify checksums. Exercises mailbox matching under
+  // heavy interleaving.
+  const int p = 5;
+  Runtime rt(p);
+  rt.Run([p](Comm& comm) {
+    const int per_pair = 50;
+    Prng rng(1000 + static_cast<std::uint64_t>(comm.rank()));
+    for (int i = 0; i < per_pair; ++i) {
+      for (int dst = 0; dst < p; ++dst) {
+        if (dst == comm.rank()) continue;
+        std::vector<std::uint64_t> payload = {
+            static_cast<std::uint64_t>(comm.rank()),
+            static_cast<std::uint64_t>(i), rng.NextU64()};
+        payload.push_back(payload[0] ^ payload[1] ^ payload[2]);
+        comm.SendVec(dst, 21, payload);
+      }
+    }
+    for (int i = 0; i < per_pair * (p - 1); ++i) {
+      std::vector<std::uint64_t> got = comm.RecvVec<std::uint64_t>(-1, 21);
+      ASSERT_EQ(got.size(), 4u);
+      EXPECT_EQ(got[3], got[0] ^ got[1] ^ got[2]);
+    }
+    comm.Barrier();
+  });
+}
+
+}  // namespace
+}  // namespace pam

@@ -1,0 +1,109 @@
+#include "pam/mp/runtime.h"
+
+#include <atomic>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace pam {
+namespace {
+
+TEST(RuntimeTest, SpawnsEveryRankExactlyOnce) {
+  const int p = 6;
+  Runtime rt(p);
+  std::mutex mu;
+  std::set<int> seen;
+  rt.Run([&](Comm& comm) {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_TRUE(seen.insert(comm.rank()).second);
+    EXPECT_EQ(comm.size(), p);
+  });
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(p));
+}
+
+TEST(RuntimeTest, SingleRankWorks) {
+  Runtime rt(1);
+  int calls = 0;
+  rt.Run([&calls](Comm& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+    comm.Barrier();
+    std::vector<std::uint64_t> v = {7};
+    comm.AllReduceSum(std::span<std::uint64_t>(v));
+    EXPECT_EQ(v[0], 7u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RuntimeTest, RunCanBeCalledRepeatedly) {
+  const int p = 3;
+  Runtime rt(p);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 5; ++round) {
+    rt.Run([&total](Comm& comm) {
+      // Exchange a token around the ring each round.
+      comm.SendVec<std::uint32_t>(comm.RightNeighbor(), 1,
+                                  {static_cast<std::uint32_t>(comm.rank())});
+      std::vector<std::uint32_t> got =
+          comm.RecvVec<std::uint32_t>(comm.LeftNeighbor(), 1);
+      EXPECT_EQ(got[0], static_cast<std::uint32_t>(comm.LeftNeighbor()));
+      ++total;
+    });
+  }
+  EXPECT_EQ(total.load(), 15);
+}
+
+TEST(RuntimeTest, TrafficCountersAccumulateAcrossRuns) {
+  Runtime rt(2);
+  auto send_once = [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.SendVec<std::uint32_t>(1, 2, {1, 2});
+    } else {
+      comm.RecvVec<std::uint32_t>(0, 2);
+    }
+  };
+  rt.Run(send_once);
+  const std::uint64_t after_first = rt.TotalBytesSent();
+  rt.Run(send_once);
+  EXPECT_EQ(rt.TotalBytesSent(), after_first * 2);
+  EXPECT_EQ(rt.TotalMessagesSent(), 2u);
+}
+
+TEST(RuntimeTest, ManyRanksOversubscribed) {
+  // Far more ranks than host cores: the runtime is a logical-processor
+  // abstraction and must stay correct under heavy oversubscription.
+  const int p = 48;
+  Runtime rt(p);
+  std::atomic<std::uint64_t> sum{0};
+  rt.Run([&sum](Comm& comm) {
+    std::vector<std::uint64_t> v = {1};
+    comm.AllReduceSum(std::span<std::uint64_t>(v));
+    EXPECT_EQ(v[0], 48u);
+    sum += v[0];
+    comm.Barrier();
+  });
+  EXPECT_EQ(sum.load(), 48u * 48u);
+}
+
+TEST(RuntimeTest, IndependentRuntimesDoNotInterfere) {
+  Runtime a(2);
+  Runtime b(2);
+  a.Run([](Comm& comm) {
+    if (comm.rank() == 0) comm.SendVec<std::uint32_t>(1, 5, {11});
+    if (comm.rank() == 1) {
+      EXPECT_EQ(comm.RecvVec<std::uint32_t>(0, 5)[0], 11u);
+    }
+  });
+  b.Run([](Comm& comm) {
+    if (comm.rank() == 0) comm.SendVec<std::uint32_t>(1, 5, {22});
+    if (comm.rank() == 1) {
+      EXPECT_EQ(comm.RecvVec<std::uint32_t>(0, 5)[0], 22u);
+    }
+  });
+  EXPECT_EQ(a.TotalBytesSent(), 4u);
+  EXPECT_EQ(b.TotalBytesSent(), 4u);
+}
+
+}  // namespace
+}  // namespace pam

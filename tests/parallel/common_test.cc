@@ -1,0 +1,176 @@
+#include "pam/parallel/common.h"
+
+#include <atomic>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "pam/core/apriori_gen.h"
+#include "pam/mp/runtime.h"
+#include "testing/random_db.h"
+
+namespace pam {
+namespace {
+
+using parallel_internal::ExchangeFrequent;
+using parallel_internal::FrequentSubset;
+using parallel_internal::ParallelPass1;
+using parallel_internal::RingShiftAll;
+
+TEST(RingShiftAllTest, EveryRankSeesEveryPageExactlyOnce) {
+  TransactionDatabase db = testing::RandomDb(60, 20, 6, 111);
+  const int p = 5;
+  Runtime rt(p);
+  std::vector<std::multiset<std::vector<Item>>> seen(
+      static_cast<std::size_t>(p));
+  rt.Run([&](Comm& comm) {
+    const auto slice = db.RankSlice(comm.rank(), comm.size());
+    const std::vector<Page> pages = Paginate(db, slice, 64);
+    auto& mine = seen[static_cast<std::size_t>(comm.rank())];
+    RingShiftAll(comm, pages,
+                 [&mine](const Page& page) {
+                   ForEachTransaction(page, [&mine](ItemSpan tx) {
+                     mine.insert(std::vector<Item>(tx.begin(), tx.end()));
+                   });
+                 },
+                 nullptr);
+  });
+  // Every rank saw exactly the whole database (as a multiset).
+  std::multiset<std::vector<Item>> expected;
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    ItemSpan tx = db.Transaction(t);
+    expected.insert(std::vector<Item>(tx.begin(), tx.end()));
+  }
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(r)], expected) << "rank " << r;
+  }
+}
+
+TEST(RingShiftAllTest, ReportsBytesSent) {
+  TransactionDatabase db = testing::RandomDb(40, 15, 5, 113);
+  const int p = 4;
+  Runtime rt(p);
+  std::atomic<std::uint64_t> total_bytes{0};
+  std::atomic<std::uint64_t> total_msgs{0};
+  rt.Run([&](Comm& comm) {
+    const auto slice = db.RankSlice(comm.rank(), comm.size());
+    const std::vector<Page> pages = Paginate(db, slice, 128);
+    std::uint64_t msgs = 0;
+    total_bytes += RingShiftAll(comm, pages, [](const Page&) {}, &msgs);
+    total_msgs += msgs;
+  });
+  // Every page is forwarded P-1 times in total... by each holder: each
+  // rank sends its current buffer every step, so total bytes equal
+  // (P-1) * database wire bytes (padding rounds send empty buffers).
+  EXPECT_EQ(total_bytes.load(),
+            static_cast<std::uint64_t>(p - 1) * db.WireBytes({0, db.size()}));
+  EXPECT_GT(total_msgs.load(), 0u);
+}
+
+TEST(RingShiftAllTest, SingleRankProcessesLocally) {
+  TransactionDatabase db = testing::RandomDb(10, 10, 4, 115);
+  Runtime rt(1);
+  rt.Run([&](Comm& comm) {
+    const std::vector<Page> pages = Paginate(db, {0, db.size()}, 4096);
+    std::size_t transactions = 0;
+    const std::uint64_t bytes = RingShiftAll(
+        comm, pages,
+        [&transactions](const Page& page) {
+          transactions += PageTransactionCount(page);
+        },
+        nullptr);
+    EXPECT_EQ(bytes, 0u);
+    EXPECT_EQ(transactions, db.size());
+  });
+}
+
+TEST(RingShiftAllTest, UnevenPageCountsStayInLockstep) {
+  // Rank 0 holds everything (single-source shape); others contribute
+  // nothing but must still see all pages.
+  TransactionDatabase db = testing::RandomDb(30, 12, 5, 117);
+  const int p = 3;
+  Runtime rt(p);
+  std::vector<std::size_t> seen(static_cast<std::size_t>(p), 0);
+  rt.Run([&](Comm& comm) {
+    const TransactionDatabase::Slice slice =
+        comm.rank() == 0 ? TransactionDatabase::Slice{0, db.size()}
+                         : TransactionDatabase::Slice{db.size(), db.size()};
+    const std::vector<Page> pages = Paginate(db, slice, 64);
+    RingShiftAll(comm, pages,
+                 [&, r = comm.rank()](const Page& page) {
+                   seen[static_cast<std::size_t>(r)] +=
+                       PageTransactionCount(page);
+                 },
+                 nullptr);
+  });
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(r)], db.size()) << "rank " << r;
+  }
+}
+
+TEST(ParallelPass1Test, MatchesGlobalItemCounts) {
+  TransactionDatabase db = testing::RandomDb(90, 15, 6, 119);
+  const Count minsup = 5;
+  std::vector<Count> expected = CountItems(db, {0, db.size()});
+  ItemsetCollection expected_f1 = MakeF1(expected, minsup);
+
+  const int p = 4;
+  Runtime rt(p);
+  std::atomic<int> matches{0};
+  rt.Run([&](Comm& comm) {
+    PassMetrics metrics;
+    ItemsetCollection f1 = ParallelPass1(
+        db, db.RankSlice(comm.rank(), comm.size()), comm, minsup, &metrics);
+    if (f1.size() == expected_f1.size()) {
+      bool same = true;
+      for (std::size_t i = 0; i < f1.size(); ++i) {
+        same = same && f1.Get(i)[0] == expected_f1.Get(i)[0] &&
+               f1.count(i) == expected_f1.count(i);
+      }
+      if (same) ++matches;
+    }
+    EXPECT_EQ(metrics.k, 1);
+    EXPECT_GT(metrics.reduction_words, 0u);
+  });
+  EXPECT_EQ(matches.load(), p);
+}
+
+TEST(FrequentSubsetTest, SelectsOwnedFrequentOnly) {
+  ItemsetCollection candidates(2);
+  for (Item a = 0; a < 6; ++a) {
+    std::vector<Item> s = {a, static_cast<Item>(a + 1)};
+    candidates.AddWithCount(ItemSpan(s.data(), 2), a * 10);
+  }
+  std::vector<std::uint32_t> owned = {1, 3, 5};
+  ItemsetCollection frequent = FrequentSubset(candidates, owned, 25);
+  ASSERT_EQ(frequent.size(), 2u);  // ids 3 (30) and 5 (50)
+  EXPECT_EQ(frequent.Get(0)[0], 3u);
+  EXPECT_EQ(frequent.count(0), 30u);
+  EXPECT_EQ(frequent.Get(1)[0], 5u);
+}
+
+TEST(ExchangeFrequentTest, MergesDisjointPartitionsSorted) {
+  const int p = 3;
+  Runtime rt(p);
+  rt.Run([p](Comm& comm) {
+    // Rank r contributes pairs starting with items r, r+p, ...
+    ItemsetCollection mine(2);
+    for (Item first = static_cast<Item>(comm.rank()); first < 9;
+         first = first + static_cast<Item>(p)) {
+      std::vector<Item> s = {first, static_cast<Item>(first + 10)};
+      mine.AddWithCount(ItemSpan(s.data(), 2), first + 100);
+    }
+    std::uint64_t words = 0;
+    ItemsetCollection merged = ExchangeFrequent(comm, mine, &words);
+    EXPECT_GT(words, 0u);
+    ASSERT_EQ(merged.size(), 9u);
+    EXPECT_TRUE(merged.IsSortedUnique());
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+      EXPECT_EQ(merged.Get(i)[0], static_cast<Item>(i));
+      EXPECT_EQ(merged.count(i), i + 100);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace pam

@@ -1,0 +1,90 @@
+#include "pam/parallel/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace pam {
+namespace {
+
+PassMetrics MakeMetrics(std::uint64_t traversal, std::uint64_t checks,
+                        std::uint64_t leaf_visits, std::uint64_t data_bytes,
+                        std::uint64_t transactions) {
+  PassMetrics m;
+  m.subset.traversal_steps = traversal;
+  m.subset.leaf_candidates_checked = checks;
+  m.subset.distinct_leaf_visits = leaf_visits;
+  m.subset.transactions = transactions;
+  m.data_bytes_sent = data_bytes;
+  m.transactions_processed = transactions;
+  return m;
+}
+
+RunMetrics MakeRun() {
+  RunMetrics run;
+  run.per_pass.push_back({MakeMetrics(10, 100, 5, 1000, 50),
+                          MakeMetrics(30, 200, 15, 3000, 50)});
+  run.per_pass.push_back({MakeMetrics(5, 50, 2, 500, 50),
+                          MakeMetrics(5, 50, 2, 500, 50)});
+  return run;
+}
+
+TEST(RunMetricsTest, Dimensions) {
+  RunMetrics run = MakeRun();
+  EXPECT_EQ(run.num_passes(), 2);
+  EXPECT_EQ(run.num_ranks(), 2);
+  EXPECT_EQ(RunMetrics{}.num_ranks(), 0);
+}
+
+TEST(RunMetricsTest, TotalsSumOverRanks) {
+  RunMetrics run = MakeRun();
+  EXPECT_EQ(run.TotalDataBytes(0), 4000u);
+  EXPECT_EQ(run.TotalDataBytes(1), 1000u);
+  EXPECT_EQ(run.TotalLeafVisits(0), 20u);
+  EXPECT_EQ(run.TotalTransactionsProcessed(0), 100u);
+}
+
+TEST(RunMetricsTest, SubsetWorkBalance) {
+  RunMetrics run = MakeRun();
+  // Work = traversal + checks: rank0 = 110, rank1 = 230; mean 170.
+  LoadSummary balance = run.SubsetWorkBalance(0);
+  EXPECT_DOUBLE_EQ(balance.max, 230.0);
+  EXPECT_DOUBLE_EQ(balance.mean, 170.0);
+  EXPECT_NEAR(balance.imbalance, 230.0 / 170.0, 1e-12);
+  // Pass 1 perfectly balanced.
+  EXPECT_DOUBLE_EQ(run.SubsetWorkBalance(1).imbalance, 1.0);
+}
+
+TEST(RunMetricsTest, PassSubsetStatsAccumulates) {
+  RunMetrics run = MakeRun();
+  SubsetStats stats = run.PassSubsetStats(0);
+  EXPECT_EQ(stats.traversal_steps, 40u);
+  EXPECT_EQ(stats.leaf_candidates_checked, 300u);
+  EXPECT_EQ(stats.distinct_leaf_visits, 20u);
+  EXPECT_EQ(stats.transactions, 100u);
+  EXPECT_DOUBLE_EQ(stats.AvgLeafVisitsPerTransaction(), 0.2);
+}
+
+TEST(SubsetStatsTest, AvgWithZeroTransactions) {
+  SubsetStats stats;
+  EXPECT_DOUBLE_EQ(stats.AvgLeafVisitsPerTransaction(), 0.0);
+}
+
+TEST(SubsetStatsTest, AccumulateAddsEverything) {
+  SubsetStats a;
+  a.transactions = 1;
+  a.root_items_considered = 2;
+  a.root_items_skipped = 3;
+  a.traversal_steps = 4;
+  a.distinct_leaf_visits = 5;
+  a.leaf_candidates_checked = 6;
+  SubsetStats b = a;
+  b.Accumulate(a);
+  EXPECT_EQ(b.transactions, 2u);
+  EXPECT_EQ(b.root_items_considered, 4u);
+  EXPECT_EQ(b.root_items_skipped, 6u);
+  EXPECT_EQ(b.traversal_steps, 8u);
+  EXPECT_EQ(b.distinct_leaf_visits, 10u);
+  EXPECT_EQ(b.leaf_candidates_checked, 12u);
+}
+
+}  // namespace
+}  // namespace pam

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include "pam/datagen/quest_gen.h"
+#include "pam/parallel/driver.h"
+
+namespace pam {
+namespace {
+
+TransactionDatabase TestDb() {
+  QuestConfig q;
+  q.num_transactions = 800;
+  q.num_items = 120;
+  q.avg_transaction_len = 10;
+  q.avg_pattern_len = 4;
+  q.num_patterns = 60;
+  q.seed = 13;
+  return GenerateQuest(q);
+}
+
+ParallelConfig BaseConfig() {
+  ParallelConfig cfg;
+  cfg.apriori.minsup_fraction = 0.02;
+  cfg.page_bytes = 1024;
+  return cfg;
+}
+
+// Section IV / Figure 11: IDD's bitmap + prefix partitioning cuts the
+// distinct-leaf-visit work per rank well below DD's for the same pass.
+TEST(ParallelBehaviorTest, IddVisitsFewerLeavesThanDd) {
+  TransactionDatabase db = TestDb();
+  const int p = 4;
+  ParallelResult dd = MineParallel(Algorithm::kDD, db, p, BaseConfig());
+  ParallelResult idd = MineParallel(Algorithm::kIDD, db, p, BaseConfig());
+  ASSERT_EQ(dd.metrics.per_pass.size(), idd.metrics.per_pass.size());
+
+  // Compare the pass with the most candidates (usually k=2 or 3).
+  std::size_t best_pass = 1;
+  std::size_t best_m = 0;
+  for (std::size_t i = 1; i < dd.metrics.per_pass.size(); ++i) {
+    const std::size_t m = dd.metrics.per_pass[i][0].num_candidates_global;
+    if (m > best_m) {
+      best_m = m;
+      best_pass = i;
+    }
+  }
+  const SubsetStats dd_stats =
+      dd.metrics.PassSubsetStats(static_cast<int>(best_pass));
+  const SubsetStats idd_stats =
+      idd.metrics.PassSubsetStats(static_cast<int>(best_pass));
+  EXPECT_LT(idd_stats.distinct_leaf_visits, dd_stats.distinct_leaf_visits);
+  EXPECT_LT(idd_stats.traversal_steps, dd_stats.traversal_steps);
+  EXPECT_GT(idd_stats.root_items_skipped, 0u);
+}
+
+// CD performs no redundant work: its total leaf visits match a P=1 run.
+TEST(ParallelBehaviorTest, CdTotalWorkIndependentOfP) {
+  TransactionDatabase db = TestDb();
+  ParallelResult p1 = MineParallel(Algorithm::kCD, db, 1, BaseConfig());
+  ParallelResult p4 = MineParallel(Algorithm::kCD, db, 4, BaseConfig());
+  ASSERT_EQ(p1.metrics.per_pass.size(), p4.metrics.per_pass.size());
+  for (std::size_t pass = 1; pass < p1.metrics.per_pass.size(); ++pass) {
+    EXPECT_EQ(p1.metrics.TotalLeafVisits(static_cast<int>(pass)),
+              p4.metrics.TotalLeafVisits(static_cast<int>(pass)))
+        << "pass " << pass;
+  }
+}
+
+// DD's total leaf-visit work *grows* with P (the redundant work the paper
+// analyzes); IDD's stays near the serial amount.
+TEST(ParallelBehaviorTest, DdRedundantWorkGrowsWithP) {
+  TransactionDatabase db = TestDb();
+  ParallelResult serial = MineParallel(Algorithm::kCD, db, 1, BaseConfig());
+  ParallelResult dd2 = MineParallel(Algorithm::kDD, db, 2, BaseConfig());
+  ParallelResult dd8 = MineParallel(Algorithm::kDD, db, 8, BaseConfig());
+  ParallelResult idd8 = MineParallel(Algorithm::kIDD, db, 8, BaseConfig());
+
+  std::uint64_t serial_total = 0;
+  std::uint64_t dd2_total = 0;
+  std::uint64_t dd8_total = 0;
+  std::uint64_t idd8_total = 0;
+  for (std::size_t pass = 1; pass < serial.metrics.per_pass.size(); ++pass) {
+    serial_total += serial.metrics.TotalLeafVisits(static_cast<int>(pass));
+    dd2_total += dd2.metrics.TotalLeafVisits(static_cast<int>(pass));
+    dd8_total += dd8.metrics.TotalLeafVisits(static_cast<int>(pass));
+    idd8_total += idd8.metrics.TotalLeafVisits(static_cast<int>(pass));
+  }
+  EXPECT_GT(dd8_total, dd2_total);
+  EXPECT_GT(dd8_total, serial_total);
+  EXPECT_LT(idd8_total, dd8_total);
+}
+
+// Data movement volume: with P ranks, DD and IDD both ship each local
+// block P-1 times, so total bytes ~ (P-1) * database wire size.
+TEST(ParallelBehaviorTest, RingShipsExpectedVolume) {
+  TransactionDatabase db = TestDb();
+  const int p = 4;
+  ParallelResult idd = MineParallel(Algorithm::kIDD, db, p, BaseConfig());
+  const std::uint64_t db_bytes = db.WireBytes({0, db.size()});
+  const std::size_t passes = idd.metrics.per_pass.size();
+  ASSERT_GT(passes, 1u);
+  std::uint64_t total = 0;
+  for (std::size_t pass = 1; pass < passes; ++pass) {
+    total += idd.metrics.TotalDataBytes(static_cast<int>(pass));
+  }
+  // Each counting pass (k >= 2) ships (P-1) * |DB| bytes in total.
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(passes - 1) * (p - 1) * db_bytes;
+  EXPECT_EQ(total, expected);
+}
+
+// CD moves no transaction data at all.
+TEST(ParallelBehaviorTest, CdMovesNoTransactionData) {
+  TransactionDatabase db = TestDb();
+  ParallelResult cd = MineParallel(Algorithm::kCD, db, 4, BaseConfig());
+  for (std::size_t pass = 0; pass < cd.metrics.per_pass.size(); ++pass) {
+    EXPECT_EQ(cd.metrics.TotalDataBytes(static_cast<int>(pass)), 0u);
+  }
+}
+
+// In CD every rank processes N/P transactions; in DD/IDD every rank
+// processes all N; in HD every rank processes G*N/P.
+TEST(ParallelBehaviorTest, TransactionsProcessedPerAlgorithm) {
+  TransactionDatabase db = TestDb();
+  const int p = 4;
+  ParallelConfig cfg = BaseConfig();
+  cfg.hd_threshold_m = 1;  // force G = P (IDD-like)
+
+  ParallelResult cd = MineParallel(Algorithm::kCD, db, p, cfg);
+  ParallelResult idd = MineParallel(Algorithm::kIDD, db, p, cfg);
+  ParallelResult hd = MineParallel(Algorithm::kHD, db, p, cfg);
+
+  const std::uint64_t n = db.size();
+  for (std::size_t pass = 1; pass < cd.metrics.per_pass.size(); ++pass) {
+    EXPECT_EQ(cd.metrics.TotalTransactionsProcessed(static_cast<int>(pass)),
+              n);
+  }
+  for (std::size_t pass = 1; pass < idd.metrics.per_pass.size(); ++pass) {
+    EXPECT_EQ(idd.metrics.TotalTransactionsProcessed(static_cast<int>(pass)),
+              n * p);
+  }
+  for (std::size_t pass = 1; pass < hd.metrics.per_pass.size(); ++pass) {
+    const int rows = hd.metrics.per_pass[pass][0].grid_rows;
+    EXPECT_EQ(hd.metrics.TotalTransactionsProcessed(static_cast<int>(pass)),
+              n * static_cast<std::uint64_t>(rows));
+  }
+}
+
+// HD with a huge threshold never forms a grid (G=1) and becomes CD: no
+// data movement, full-size reductions.
+TEST(ParallelBehaviorTest, HdDegeneratesToCdWithHugeThreshold) {
+  TransactionDatabase db = TestDb();
+  ParallelConfig cfg = BaseConfig();
+  cfg.hd_threshold_m = 100000000;
+  ParallelResult hd = MineParallel(Algorithm::kHD, db, 4, cfg);
+  for (std::size_t pass = 1; pass < hd.metrics.per_pass.size(); ++pass) {
+    const auto& row = hd.metrics.per_pass[pass];
+    EXPECT_EQ(row[0].grid_rows, 1);
+    EXPECT_EQ(row[0].grid_cols, 4);
+    EXPECT_EQ(hd.metrics.TotalDataBytes(static_cast<int>(pass)), 0u);
+  }
+}
+
+// HD with threshold 1 always forms G=P (pure IDD): no reductions.
+TEST(ParallelBehaviorTest, HdDegeneratesToIddWithThresholdOne) {
+  TransactionDatabase db = TestDb();
+  ParallelConfig cfg = BaseConfig();
+  cfg.hd_threshold_m = 1;
+  ParallelResult hd = MineParallel(Algorithm::kHD, db, 4, cfg);
+  for (std::size_t pass = 1; pass < hd.metrics.per_pass.size(); ++pass) {
+    const auto& row = hd.metrics.per_pass[pass];
+    // Tiny final passes may have fewer candidates than P, where
+    // G = ceil(M/1) = M < P is the correct grid; only passes with at
+    // least P candidates must be pure IDD (G = P, no reduction).
+    if (row[0].num_candidates_global < 4) continue;
+    EXPECT_EQ(row[0].grid_rows, 4);
+    EXPECT_EQ(row[0].grid_cols, 1);
+    for (const PassMetrics& m : row) EXPECT_EQ(m.reduction_words, 0u);
+  }
+}
+
+// The bitmap ablation: IDD without root filtering does strictly more
+// traversal work.
+TEST(ParallelBehaviorTest, BitmapAblationIncreasesWork) {
+  TransactionDatabase db = TestDb();
+  ParallelConfig with = BaseConfig();
+  ParallelConfig without = BaseConfig();
+  without.idd_use_bitmap = false;
+  ParallelResult a = MineParallel(Algorithm::kIDD, db, 4, with);
+  ParallelResult b = MineParallel(Algorithm::kIDD, db, 4, without);
+  std::uint64_t with_steps = 0;
+  std::uint64_t without_steps = 0;
+  for (std::size_t pass = 1; pass < a.metrics.per_pass.size(); ++pass) {
+    with_steps +=
+        a.metrics.PassSubsetStats(static_cast<int>(pass)).traversal_steps;
+    without_steps +=
+        b.metrics.PassSubsetStats(static_cast<int>(pass)).traversal_steps;
+  }
+  EXPECT_LT(with_steps, without_steps);
+}
+
+// Section III-E's HPA analysis: for pass k, HPA ships (|t| choose k)
+// subsets per transaction, so its per-pass data volume grows with k while
+// IDD's is flat (one copy of the database per pass regardless of k).
+TEST(ParallelBehaviorTest, HpaVolumeGrowsWithKUnlikeIdd) {
+  TransactionDatabase db = TestDb();
+  const int p = 4;
+  ParallelConfig cfg = BaseConfig();
+  cfg.apriori.minsup_fraction = 0.01;  // deep enough for several passes
+  ParallelResult hpa = MineParallel(Algorithm::kHPA, db, p, cfg);
+  ParallelResult idd = MineParallel(Algorithm::kIDD, db, p, cfg);
+  ASSERT_GE(hpa.metrics.num_passes(), 4);
+
+  // IDD ships the same bytes every pass; HPA's bytes per pass track the
+  // subset count (grows from k=2 to k=3 on this workload).
+  const std::uint64_t idd2 = idd.metrics.TotalDataBytes(1);
+  const std::uint64_t idd3 = idd.metrics.TotalDataBytes(2);
+  EXPECT_EQ(idd2, idd3);
+  const std::uint64_t hpa2 = hpa.metrics.TotalDataBytes(1);
+  const std::uint64_t hpa3 = hpa.metrics.TotalDataBytes(2);
+  EXPECT_GT(hpa3, hpa2);
+  // And by pass 3, HPA's volume exceeds IDD's (the paper's "much larger
+  // communication volume than DD and IDD for k > 2").
+  EXPECT_GT(hpa3, idd3);
+}
+
+// HPA's hash ownership cannot be balanced deliberately, but on a uniform
+// hash it is statistically even: candidate counts across ranks stay
+// within a loose band.
+TEST(ParallelBehaviorTest, HpaHashOwnershipRoughlyEven) {
+  TransactionDatabase db = TestDb();
+  ParallelResult hpa = MineParallel(Algorithm::kHPA, db, 4, BaseConfig());
+  for (std::size_t pass = 1; pass < hpa.metrics.per_pass.size(); ++pass) {
+    const auto& row = hpa.metrics.per_pass[pass];
+    const std::size_t m = row[0].num_candidates_global;
+    if (m < 200) continue;  // tiny passes are noisy
+    std::size_t total_local = 0;
+    for (const PassMetrics& r : row) {
+      total_local += r.num_candidates_local;
+      EXPECT_LT(r.num_candidates_local, m / 2);
+    }
+    EXPECT_EQ(total_local, m);
+  }
+}
+
+// DD classic and DD+comm move the same volume; only the pattern differs
+// (message counts differ: all-to-all sends P-1 messages per page from the
+// owner, the ring forwards pages hop by hop).
+TEST(ParallelBehaviorTest, DdCommVolumeMatchesDd) {
+  TransactionDatabase db = TestDb();
+  const int p = 4;
+  ParallelResult dd = MineParallel(Algorithm::kDD, db, p, BaseConfig());
+  ParallelResult ddc = MineParallel(Algorithm::kDDComm, db, p, BaseConfig());
+  for (std::size_t pass = 1; pass < dd.metrics.per_pass.size(); ++pass) {
+    EXPECT_EQ(dd.metrics.TotalDataBytes(static_cast<int>(pass)),
+              ddc.metrics.TotalDataBytes(static_cast<int>(pass)))
+        << "pass " << pass;
+  }
+}
+
+}  // namespace
+}  // namespace pam

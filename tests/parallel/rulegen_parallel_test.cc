@@ -1,0 +1,95 @@
+#include "pam/parallel/rulegen_parallel.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "pam/core/serial_apriori.h"
+#include "pam/mp/runtime.h"
+#include "testing/random_db.h"
+
+namespace pam {
+namespace {
+
+using RuleKey = std::pair<std::vector<Item>, std::vector<Item>>;
+
+std::set<RuleKey> Keys(const std::vector<Rule>& rules) {
+  std::set<RuleKey> out;
+  for (const Rule& r : rules) out.insert({r.antecedent, r.consequent});
+  return out;
+}
+
+TEST(RuleSerializationTest, RoundTrip) {
+  std::vector<Rule> rules;
+  rules.push_back(Rule{{1, 2}, {3}, 17, 0.25, 0.8});
+  rules.push_back(Rule{{4}, {5, 6, 7}, 3, 0.031, 0.51});
+  std::vector<std::uint64_t> wire = SerializeRules(rules);
+  std::vector<Rule> back = DeserializeRules(wire.data(), wire.size());
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].antecedent, rules[0].antecedent);
+  EXPECT_EQ(back[0].consequent, rules[0].consequent);
+  EXPECT_EQ(back[0].joint_count, 17u);
+  EXPECT_DOUBLE_EQ(back[0].support, 0.25);
+  EXPECT_DOUBLE_EQ(back[0].confidence, 0.8);
+  EXPECT_EQ(back[1].antecedent, rules[1].antecedent);
+  EXPECT_DOUBLE_EQ(back[1].confidence, 0.51);
+}
+
+TEST(RuleSerializationTest, EmptyRules) {
+  std::vector<std::uint64_t> wire = SerializeRules({});
+  EXPECT_TRUE(DeserializeRules(wire.data(), wire.size()).empty());
+}
+
+class ParallelRulegenSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelRulegenSweep, MatchesSerialRulegen) {
+  const int p = GetParam();
+  TransactionDatabase db = testing::RandomDb(120, 12, 7, 31);
+  AprioriConfig cfg;
+  cfg.minsup_count = 6;
+  FrequentItemsets frequent = MineSerial(db, cfg).frequent;
+  std::vector<Rule> serial = GenerateRules(frequent, db.size(), 0.4);
+  ASSERT_FALSE(serial.empty()) << "workload produced no rules";
+
+  std::vector<std::vector<Rule>> per_rank(static_cast<std::size_t>(p));
+  Runtime rt(p);
+  rt.Run([&](Comm& comm) {
+    per_rank[static_cast<std::size_t>(comm.rank())] =
+        GenerateRulesParallel(comm, frequent, db.size(), 0.4);
+  });
+
+  for (int r = 0; r < p; ++r) {
+    const auto& rules = per_rank[static_cast<std::size_t>(r)];
+    ASSERT_EQ(rules.size(), serial.size()) << "rank " << r;
+    EXPECT_EQ(Keys(rules), Keys(serial)) << "rank " << r;
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      EXPECT_DOUBLE_EQ(rules[i].confidence, serial[i].confidence);
+      EXPECT_DOUBLE_EQ(rules[i].support, serial[i].support);
+      EXPECT_EQ(rules[i].joint_count, serial[i].joint_count);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, ParallelRulegenSweep,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(ParallelRulegenTest, AllConfidenceLevels) {
+  TransactionDatabase db = testing::RandomDb(100, 10, 6, 17);
+  AprioriConfig cfg;
+  cfg.minsup_count = 5;
+  FrequentItemsets frequent = MineSerial(db, cfg).frequent;
+  for (double conf : {0.0, 0.5, 0.95}) {
+    std::vector<Rule> serial = GenerateRules(frequent, db.size(), conf);
+    std::vector<Rule> parallel;
+    Runtime rt(4);
+    rt.Run([&](Comm& comm) {
+      std::vector<Rule> mine =
+          GenerateRulesParallel(comm, frequent, db.size(), conf);
+      if (comm.rank() == 0) parallel = std::move(mine);
+    });
+    EXPECT_EQ(Keys(parallel), Keys(serial)) << "conf " << conf;
+  }
+}
+
+}  // namespace
+}  // namespace pam

@@ -1,0 +1,88 @@
+#include "pam/tdb/db_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "pam/datagen/quest_gen.h"
+#include "testing/random_db.h"
+
+namespace pam {
+namespace {
+
+TEST(DbStatsTest, EmptyDatabase) {
+  DbStats stats = ComputeDbStats(TransactionDatabase{});
+  EXPECT_EQ(stats.num_transactions, 0u);
+  EXPECT_EQ(stats.total_item_occurrences, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_transaction_len, 0.0);
+  EXPECT_DOUBLE_EQ(stats.item_gini, 0.0);
+}
+
+TEST(DbStatsTest, BasicCounts) {
+  TransactionDatabase db;
+  db.Add({0, 1, 2});
+  db.Add({1});
+  db.Add({1, 2});
+  DbStats stats = ComputeDbStats(db);
+  EXPECT_EQ(stats.num_transactions, 3u);
+  EXPECT_EQ(stats.num_items, 3u);
+  EXPECT_EQ(stats.distinct_items, 3u);
+  EXPECT_EQ(stats.total_item_occurrences, 6u);
+  EXPECT_DOUBLE_EQ(stats.avg_transaction_len, 2.0);
+  EXPECT_EQ(stats.min_transaction_len, 1u);
+  EXPECT_EQ(stats.max_transaction_len, 3u);
+  ASSERT_EQ(stats.item_frequencies.size(), 3u);
+  EXPECT_EQ(stats.item_frequencies[0], 1u);
+  EXPECT_EQ(stats.item_frequencies[1], 3u);
+  EXPECT_EQ(stats.item_frequencies[2], 2u);
+}
+
+TEST(DbStatsTest, UniformFrequenciesHaveZeroGini) {
+  TransactionDatabase db;
+  for (int t = 0; t < 10; ++t) db.Add({0, 1, 2, 3});
+  DbStats stats = ComputeDbStats(db);
+  EXPECT_NEAR(stats.item_gini, 0.0, 1e-9);
+  EXPECT_EQ(stats.items_covering_half, 2u);
+}
+
+TEST(DbStatsTest, SkewedFrequenciesHaveHighGini) {
+  TransactionDatabase db;
+  for (int t = 0; t < 100; ++t) db.Add({0});
+  db.Add({1});
+  db.Add({2});
+  db.Add({3});
+  DbStats stats = ComputeDbStats(db);
+  EXPECT_GT(stats.item_gini, 0.7);
+  EXPECT_EQ(stats.items_covering_half, 1u);
+}
+
+TEST(DbStatsTest, DistinctVsAlphabet) {
+  TransactionDatabase db;
+  db.Add({0, 9});  // items 1..8 never occur
+  DbStats stats = ComputeDbStats(db);
+  EXPECT_EQ(stats.num_items, 10u);
+  EXPECT_EQ(stats.distinct_items, 2u);
+}
+
+TEST(DbStatsTest, QuestDataIsSkewed) {
+  // Pattern-based generation concentrates mass on pattern items: gini
+  // must be clearly above a uniform-random baseline.
+  QuestConfig q;
+  q.num_transactions = 2000;
+  q.num_items = 500;
+  q.num_patterns = 50;
+  q.seed = 3;
+  DbStats quest = ComputeDbStats(GenerateQuest(q));
+  DbStats uniform =
+      ComputeDbStats(testing::RandomDb(2000, 500, 15, 3));
+  EXPECT_GT(quest.item_gini, uniform.item_gini + 0.2);
+}
+
+TEST(DbStatsTest, ToStringMentionsKeyNumbers) {
+  TransactionDatabase db;
+  db.Add({0, 1});
+  const std::string s = ComputeDbStats(db).ToString();
+  EXPECT_NE(s.find("transactions: 1"), std::string::npos);
+  EXPECT_NE(s.find("occurrences: 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pam

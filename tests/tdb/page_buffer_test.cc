@@ -1,0 +1,79 @@
+#include "pam/tdb/page_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/random_db.h"
+
+namespace pam {
+namespace {
+
+TEST(PageBufferTest, RoundTripPreservesTransactions) {
+  TransactionDatabase db = testing::RandomDb(137, 40, 9, 6);
+  const TransactionDatabase::Slice slice{0, db.size()};
+  std::vector<Page> pages = Paginate(db, slice, 128);
+
+  std::vector<std::vector<Item>> seen;
+  for (const Page& page : pages) {
+    ForEachTransaction(page, [&seen](ItemSpan tx) {
+      seen.emplace_back(tx.begin(), tx.end());
+    });
+  }
+  ASSERT_EQ(seen.size(), db.size());
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    ItemSpan tx = db.Transaction(t);
+    EXPECT_EQ(seen[t], std::vector<Item>(tx.begin(), tx.end()));
+  }
+}
+
+TEST(PageBufferTest, RespectsPageSize) {
+  TransactionDatabase db = testing::RandomDb(100, 40, 5, 7);
+  const std::size_t page_bytes = 64;
+  std::vector<Page> pages = Paginate(db, {0, db.size()}, page_bytes);
+  for (const Page& page : pages) {
+    // A page may exceed the limit only if it holds a single transaction.
+    if (PageBytes(page) > page_bytes) {
+      EXPECT_EQ(PageTransactionCount(page), 1u);
+    }
+  }
+}
+
+TEST(PageBufferTest, JumboTransactionGetsOwnPage) {
+  TransactionDatabase db;
+  std::vector<Item> big;
+  for (Item i = 0; i < 100; ++i) big.push_back(i);
+  db.Add(big);
+  db.Add({1, 2});
+  std::vector<Page> pages = Paginate(db, {0, 2}, 16);
+  ASSERT_EQ(pages.size(), 2u);
+  EXPECT_EQ(PageTransactionCount(pages[0]), 1u);
+}
+
+TEST(PageBufferTest, SliceSelectsSubrange) {
+  TransactionDatabase db;
+  db.Add({1});
+  db.Add({2});
+  db.Add({3});
+  std::vector<Page> pages = Paginate(db, {1, 3}, 4096);
+  ASSERT_EQ(pages.size(), 1u);
+  std::vector<Item> items;
+  ForEachTransaction(pages[0], [&items](ItemSpan tx) {
+    items.insert(items.end(), tx.begin(), tx.end());
+  });
+  EXPECT_EQ(items, (std::vector<Item>{2, 3}));
+}
+
+TEST(PageBufferTest, EmptySliceYieldsNoPages) {
+  TransactionDatabase db = testing::RandomDb(10, 10, 3, 8);
+  EXPECT_TRUE(Paginate(db, {4, 4}, 1024).empty());
+}
+
+TEST(PageBufferTest, TransactionCountMatches) {
+  TransactionDatabase db = testing::RandomDb(55, 30, 7, 9);
+  std::vector<Page> pages = Paginate(db, {0, db.size()}, 256);
+  std::size_t total = 0;
+  for (const Page& page : pages) total += PageTransactionCount(page);
+  EXPECT_EQ(total, db.size());
+}
+
+}  // namespace
+}  // namespace pam

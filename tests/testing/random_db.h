@@ -1,0 +1,51 @@
+#ifndef PAM_TESTS_TESTING_RANDOM_DB_H_
+#define PAM_TESTS_TESTING_RANDOM_DB_H_
+
+#include <vector>
+
+#include "pam/tdb/database.h"
+#include "pam/util/prng.h"
+
+namespace pam::testing {
+
+/// A small uniform-random database for property tests: `num_transactions`
+/// transactions, each with a uniform length in [1, max_len] over
+/// `num_items` items.
+inline TransactionDatabase RandomDb(std::size_t num_transactions,
+                                    Item num_items, std::size_t max_len,
+                                    std::uint64_t seed) {
+  Prng rng(seed);
+  TransactionDatabase db;
+  std::vector<Item> tx;
+  for (std::size_t t = 0; t < num_transactions; ++t) {
+    tx.clear();
+    const std::size_t len = 1 + rng.NextBounded(max_len);
+    for (std::size_t i = 0; i < len; ++i) {
+      tx.push_back(static_cast<Item>(rng.NextBounded(num_items)));
+    }
+    db.Add(tx);
+  }
+  return db;
+}
+
+/// The paper's Table I supermarket database (items renamed to ids:
+/// Beer=0, Bread=1, Coke=2, Diaper=3, Milk=4).
+inline TransactionDatabase SupermarketDb() {
+  TransactionDatabase db;
+  db.Add({1, 2, 4});        // Bread, Coke, Milk
+  db.Add({0, 1});           // Beer, Bread
+  db.Add({0, 2, 3, 4});     // Beer, Coke, Diaper, Milk
+  db.Add({0, 1, 3, 4});     // Beer, Bread, Diaper, Milk
+  db.Add({2, 3, 4});        // Coke, Diaper, Milk
+  return db;
+}
+
+inline constexpr Item kBeer = 0;
+inline constexpr Item kBread = 1;
+inline constexpr Item kCoke = 2;
+inline constexpr Item kDiaper = 3;
+inline constexpr Item kMilk = 4;
+
+}  // namespace pam::testing
+
+#endif  // PAM_TESTS_TESTING_RANDOM_DB_H_

@@ -1,0 +1,73 @@
+#include "pam/util/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include "pam/util/prng.h"
+
+namespace pam {
+namespace {
+
+TEST(BitmapTest, StartsAllClear) {
+  Bitmap bm(130);
+  EXPECT_EQ(bm.size(), 130u);
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(bm.Test(i));
+  EXPECT_EQ(bm.Popcount(), 0u);
+}
+
+TEST(BitmapTest, SetAndClear) {
+  Bitmap bm(100);
+  bm.Set(0);
+  bm.Set(63);
+  bm.Set(64);
+  bm.Set(99);
+  EXPECT_TRUE(bm.Test(0));
+  EXPECT_TRUE(bm.Test(63));
+  EXPECT_TRUE(bm.Test(64));
+  EXPECT_TRUE(bm.Test(99));
+  EXPECT_FALSE(bm.Test(1));
+  EXPECT_EQ(bm.Popcount(), 4u);
+  bm.Clear(63);
+  EXPECT_FALSE(bm.Test(63));
+  EXPECT_EQ(bm.Popcount(), 3u);
+}
+
+TEST(BitmapTest, ResetClearsEverything) {
+  Bitmap bm(77);
+  for (std::size_t i = 0; i < 77; i += 3) bm.Set(i);
+  EXPECT_GT(bm.Popcount(), 0u);
+  bm.Reset();
+  EXPECT_EQ(bm.Popcount(), 0u);
+}
+
+TEST(BitmapTest, RandomizedAgainstReference) {
+  Prng rng(5);
+  const std::size_t n = 500;
+  Bitmap bm(n);
+  std::vector<bool> ref(n, false);
+  for (int op = 0; op < 5000; ++op) {
+    const std::size_t i = rng.NextBounded(n);
+    if (rng.NextU64() & 1) {
+      bm.Set(i);
+      ref[i] = true;
+    } else {
+      bm.Clear(i);
+      ref[i] = false;
+    }
+  }
+  std::size_t expected_pop = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(bm.Test(i), ref[i]) << "bit " << i;
+    if (ref[i]) ++expected_pop;
+  }
+  EXPECT_EQ(bm.Popcount(), expected_pop);
+}
+
+TEST(BitmapTest, WordsExposeRawStorage) {
+  Bitmap bm(65);
+  bm.Set(64);
+  ASSERT_EQ(bm.words().size(), 2u);
+  EXPECT_EQ(bm.words()[1], 1u);
+}
+
+}  // namespace
+}  // namespace pam

@@ -1,0 +1,85 @@
+#include "pam/util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace pam {
+namespace {
+
+FlagParser Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  FlagParser parser;
+  EXPECT_TRUE(parser.Parse(static_cast<int>(args.size()), args.data()));
+  return parser;
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagParser p = Parse({"--name=value", "--count=42"});
+  EXPECT_EQ(p.GetString("name", ""), "value");
+  EXPECT_EQ(p.GetInt("count", 0), 42);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  FlagParser p = Parse({"--name", "value", "--ratio", "2.5"});
+  EXPECT_EQ(p.GetString("name", ""), "value");
+  EXPECT_DOUBLE_EQ(p.GetDouble("ratio", 0.0), 2.5);
+}
+
+TEST(FlagsTest, BareFlagIsBooleanTrue) {
+  FlagParser p = Parse({"--verbose", "--output", "x"});
+  EXPECT_TRUE(p.GetBool("verbose", false));
+  EXPECT_EQ(p.GetString("output", ""), "x");
+}
+
+TEST(FlagsTest, TrailingBareFlag) {
+  FlagParser p = Parse({"--rules"});
+  EXPECT_TRUE(p.GetBool("rules", false));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  FlagParser p = Parse({});
+  EXPECT_EQ(p.GetString("missing", "fallback"), "fallback");
+  EXPECT_EQ(p.GetInt("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(p.GetDouble("missing", 1.5), 1.5);
+  EXPECT_FALSE(p.GetBool("missing", false));
+  EXPECT_TRUE(p.GetBool("missing", true));
+  EXPECT_FALSE(p.Has("missing"));
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  FlagParser p = Parse({"first", "--flag=1", "second"});
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "first");
+  EXPECT_EQ(p.positional()[1], "second");
+}
+
+TEST(FlagsTest, BooleanSpellings) {
+  FlagParser p =
+      Parse({"--a=true", "--b=1", "--c=yes", "--d=false", "--e=0"});
+  EXPECT_TRUE(p.GetBool("a", false));
+  EXPECT_TRUE(p.GetBool("b", false));
+  EXPECT_TRUE(p.GetBool("c", false));
+  EXPECT_FALSE(p.GetBool("d", true));
+  EXPECT_FALSE(p.GetBool("e", true));
+}
+
+TEST(FlagsTest, UnknownFlagDetection) {
+  FlagParser p = Parse({"--known=1", "--typo=2"});
+  std::vector<std::string> unknown = p.UnknownFlags({"known", "other"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(FlagsTest, EmptyFlagNameIsError) {
+  const char* args[] = {"prog", "--"};
+  FlagParser p;
+  EXPECT_FALSE(p.Parse(2, args));
+  EXPECT_FALSE(p.error().empty());
+}
+
+TEST(FlagsTest, LastValueWins) {
+  FlagParser p = Parse({"--x=1", "--x=2"});
+  EXPECT_EQ(p.GetInt("x", 0), 2);
+}
+
+}  // namespace
+}  // namespace pam

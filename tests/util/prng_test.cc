@@ -1,0 +1,98 @@
+#include "pam/util/prng.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace pam {
+namespace {
+
+TEST(PrngTest, DeterministicForSameSeed) {
+  Prng a(123);
+  Prng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(PrngTest, DifferentSeedsDiverge) {
+  Prng a(1);
+  Prng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(PrngTest, BoundedStaysInRange) {
+  Prng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(PrngTest, BoundedCoversRange) {
+  Prng rng(9);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) ++hits[rng.NextBounded(10)];
+  for (int h : hits) EXPECT_GT(h, 700);  // ~1000 expected each
+}
+
+TEST(PrngTest, DoubleInUnitInterval) {
+  Prng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(PrngTest, ExponentialMeanApproximatelyCorrect) {
+  Prng rng(13);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(PrngTest, PoissonSmallMeanMatches) {
+  Prng rng(17);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.NextPoisson(6.0));
+  }
+  EXPECT_NEAR(sum / n, 6.0, 0.05);
+}
+
+TEST(PrngTest, PoissonLargeMeanMatches) {
+  Prng rng(19);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.NextPoisson(100.0));
+  }
+  EXPECT_NEAR(sum / n, 100.0, 1.0);
+}
+
+TEST(PrngTest, GaussianMoments) {
+  Prng rng(23);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(PrngTest, PoissonZeroMean) {
+  Prng rng(29);
+  EXPECT_EQ(rng.NextPoisson(0.0), 0u);
+  EXPECT_EQ(rng.NextPoisson(-1.0), 0u);
+}
+
+}  // namespace
+}  // namespace pam

@@ -1,0 +1,44 @@
+#include "pam/util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace pam {
+namespace {
+
+TEST(StatsTest, EmptyInput) {
+  LoadSummary s = Summarize(std::vector<double>{});
+  EXPECT_DOUBLE_EQ(s.imbalance, 1.0);
+  EXPECT_DOUBLE_EQ(s.total, 0.0);
+}
+
+TEST(StatsTest, UniformValuesPerfectlyBalanced) {
+  LoadSummary s = Summarize(std::vector<double>{4.0, 4.0, 4.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.min, 4.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.imbalance, 1.0);
+  EXPECT_DOUBLE_EQ(s.imbalance_percent, 0.0);
+}
+
+TEST(StatsTest, ImbalanceIsMaxOverMean) {
+  // mean = 5, max = 8 -> imbalance 1.6 -> 60%.
+  LoadSummary s = Summarize(std::vector<double>{2.0, 5.0, 8.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.imbalance, 1.6);
+  EXPECT_NEAR(s.imbalance_percent, 60.0, 1e-9);
+}
+
+TEST(StatsTest, IntegerOverload) {
+  LoadSummary s = Summarize(std::vector<std::uint64_t>{10, 20, 30});
+  EXPECT_DOUBLE_EQ(s.total, 60.0);
+  EXPECT_DOUBLE_EQ(s.max, 30.0);
+  EXPECT_DOUBLE_EQ(s.imbalance, 1.5);
+}
+
+TEST(StatsTest, AllZerosKeepsImbalanceOne) {
+  LoadSummary s = Summarize(std::vector<double>{0.0, 0.0});
+  EXPECT_DOUBLE_EQ(s.imbalance, 1.0);
+}
+
+}  // namespace
+}  // namespace pam

@@ -1,0 +1,50 @@
+#include "pam/util/types.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pam {
+namespace {
+
+ItemSpan Span(const std::vector<Item>& v) {
+  return ItemSpan(v.data(), v.size());
+}
+
+TEST(TypesTest, EmptySetIsSubsetOfAnything) {
+  std::vector<Item> empty;
+  std::vector<Item> some = {1, 2, 3};
+  EXPECT_TRUE(IsSortedSubset(Span(empty), Span(some)));
+  EXPECT_TRUE(IsSortedSubset(Span(empty), Span(empty)));
+}
+
+TEST(TypesTest, SubsetDetection) {
+  std::vector<Item> hay = {1, 3, 5, 7, 9};
+  EXPECT_TRUE(IsSortedSubset(Span({3, 7}), Span(hay)));
+  EXPECT_TRUE(IsSortedSubset(Span({1, 3, 5, 7, 9}), Span(hay)));
+  EXPECT_FALSE(IsSortedSubset(Span({2}), Span(hay)));
+  EXPECT_FALSE(IsSortedSubset(Span({1, 4}), Span(hay)));
+  EXPECT_FALSE(IsSortedSubset(Span({9, 10}), Span(hay)));
+}
+
+TEST(TypesTest, SupersetNotSubset) {
+  EXPECT_FALSE(IsSortedSubset(Span({1, 2, 3}), Span({1, 2})));
+}
+
+TEST(TypesTest, CompareItemsetsOrdering) {
+  EXPECT_EQ(CompareItemsets(Span({1, 2}), Span({1, 2})), 0);
+  EXPECT_LT(CompareItemsets(Span({1, 2}), Span({1, 3})), 0);
+  EXPECT_GT(CompareItemsets(Span({2, 1}), Span({1, 9})), 0);
+  // Prefix is smaller.
+  EXPECT_LT(CompareItemsets(Span({1, 2}), Span({1, 2, 3})), 0);
+  EXPECT_GT(CompareItemsets(Span({1, 2, 3}), Span({1, 2})), 0);
+}
+
+TEST(TypesTest, HashDiffersForDifferentSets) {
+  EXPECT_NE(HashItemset(Span({1, 2, 3})), HashItemset(Span({1, 2, 4})));
+  EXPECT_NE(HashItemset(Span({1, 2})), HashItemset(Span({2, 1})));
+  EXPECT_EQ(HashItemset(Span({5, 6})), HashItemset(Span({5, 6})));
+}
+
+}  // namespace
+}  // namespace pam

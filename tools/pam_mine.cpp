@@ -1,0 +1,203 @@
+// pam_mine: mine frequent itemsets and association rules from a basket
+// file with any of the six supported formulations (serial, CD, DD,
+// DD+comm, IDD, HD, HPA).
+//
+//   pam_mine --input t15i6.bin --minsup 0.5 --minconf 70
+//            --algorithm hd --ranks 8 --rules --top 20
+//
+// The input may be the binary format of pam_gen or a whitespace text
+// basket file (--format text).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "pam/core/itemsets_io.h"
+#include "pam/core/maximal.h"
+#include "pam/core/rulegen.h"
+#include "pam/core/serial_apriori.h"
+#include "pam/model/cost_model.h"
+#include "pam/model/explain.h"
+#include "pam/parallel/driver.h"
+#include "pam/tdb/db_stats.h"
+#include "pam/tdb/io.h"
+#include "pam/util/flags.h"
+#include "pam/util/timer.h"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: pam_mine [flags]
+  --input PATH       basket file (required)
+  --format FMT       binary | text (default binary)
+  --minsup PCT       minimum support percent (default 1.0)
+  --minconf PCT      minimum confidence percent for rules (default 50)
+  --algorithm ALG    serial | cd | dd | ddcomm | idd | hd | hpa
+                     (default serial)
+  --ranks P          logical processors for parallel algorithms (default 4)
+  --hd-threshold M   HD candidate threshold m (default 50000)
+  --max-k K          stop after pass K (default: run to completion)
+  --rules            also generate association rules
+  --top N            print at most N itemsets/rules (default 20)
+  --machine NAME     t3e | sp2: also print the modeled response time
+  --dhp N            enable the DHP pair-hash filter with N buckets
+  --explain          print the per-pass cost breakdown (needs --machine)
+  --stats            print database statistics before mining
+  --maximal          print only maximal frequent itemsets
+  --save-itemsets F  persist mined frequent itemsets to F
+)";
+
+bool ParseAlgorithm(const std::string& name, pam::Algorithm* out) {
+  if (name == "cd") *out = pam::Algorithm::kCD;
+  else if (name == "dd") *out = pam::Algorithm::kDD;
+  else if (name == "ddcomm") *out = pam::Algorithm::kDDComm;
+  else if (name == "idd") *out = pam::Algorithm::kIDD;
+  else if (name == "hd") *out = pam::Algorithm::kHD;
+  else if (name == "hpa") *out = pam::Algorithm::kHPA;
+  else return false;
+  return true;
+}
+
+void PrintItemsets(const pam::FrequentItemsets& frequent, std::size_t n,
+                   std::size_t top) {
+  std::printf("frequent itemsets: %zu (largest size %d)\n",
+              frequent.TotalCount(), frequent.MaxK());
+  std::size_t printed = 0;
+  for (const auto& level : frequent.levels) {
+    for (std::size_t i = 0; i < level.size() && printed < top;
+         ++i, ++printed) {
+      pam::ItemSpan s = level.Get(i);
+      std::printf("  {");
+      for (std::size_t j = 0; j < s.size(); ++j) {
+        std::printf(j ? " %u" : "%u", s[j]);
+      }
+      std::printf("}  support %.3f%% (%llu)\n",
+                  100.0 * static_cast<double>(level.count(i)) /
+                      static_cast<double>(n),
+                  static_cast<unsigned long long>(level.count(i)));
+    }
+  }
+  if (printed < frequent.TotalCount()) {
+    std::printf("  ... (%zu more)\n", frequent.TotalCount() - printed);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pam::FlagParser flags;
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(), kUsage);
+    return 2;
+  }
+  const std::vector<std::string> known = {
+      "input",   "format",  "minsup",  "minconf",       "algorithm",
+      "ranks",   "rules",   "top",     "max-k",         "hd-threshold",
+      "machine", "explain", "stats",   "maximal",       "save-itemsets",
+      "dhp",     "help"};
+  for (const std::string& f : flags.UnknownFlags(known)) {
+    std::fprintf(stderr, "error: unknown flag --%s\n%s", f.c_str(), kUsage);
+    return 2;
+  }
+  if (flags.GetBool("help", false) || !flags.Has("input")) {
+    std::fputs(kUsage, flags.Has("input") ? stdout : stderr);
+    return flags.GetBool("help", false) ? 0 : 2;
+  }
+
+  const std::string path = flags.GetString("input", "");
+  const std::string format = flags.GetString("format", "binary");
+  pam::Result<pam::TransactionDatabase> loaded =
+      format == "text" ? pam::ReadText(path) : pam::ReadBinary(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().message().c_str());
+    return 1;
+  }
+  const pam::TransactionDatabase& db = loaded.value();
+  std::printf("loaded %zu transactions, %zu items, avg length %.2f\n",
+              db.size(), static_cast<std::size_t>(db.NumItems()),
+              db.AverageLength());
+  if (flags.GetBool("stats", false)) {
+    std::printf("%s", pam::ComputeDbStats(db).ToString().c_str());
+  }
+
+  pam::ParallelConfig config;
+  config.apriori.minsup_fraction = flags.GetDouble("minsup", 1.0) / 100.0;
+  config.apriori.max_k = static_cast<int>(flags.GetInt("max-k", 0));
+  config.hd_threshold_m =
+      static_cast<std::size_t>(flags.GetInt("hd-threshold", 50000));
+  config.apriori.dhp_buckets =
+      static_cast<std::size_t>(flags.GetInt("dhp", 0));
+  const std::size_t top =
+      static_cast<std::size_t>(flags.GetInt("top", 20));
+
+  const std::string algorithm_name =
+      flags.GetString("algorithm", "serial");
+  pam::WallTimer timer;
+  pam::FrequentItemsets frequent;
+  if (algorithm_name == "serial") {
+    pam::SerialResult result = pam::MineSerial(db, config.apriori);
+    frequent = std::move(result.frequent);
+    std::printf("mined serially in %.2fs (minsup count %llu)\n",
+                timer.Seconds(),
+                static_cast<unsigned long long>(result.minsup_count));
+  } else {
+    pam::Algorithm algorithm;
+    if (!ParseAlgorithm(algorithm_name, &algorithm)) {
+      std::fprintf(stderr, "error: unknown algorithm '%s'\n%s",
+                   algorithm_name.c_str(), kUsage);
+      return 2;
+    }
+    const int ranks = static_cast<int>(flags.GetInt("ranks", 4));
+    pam::ParallelResult result =
+        pam::MineParallel(algorithm, db, ranks, config);
+    frequent = std::move(result.frequent);
+    std::printf("mined with %s on %d logical ranks in %.2fs wall\n",
+                pam::AlgorithmName(algorithm).c_str(), ranks,
+                timer.Seconds());
+    if (flags.Has("machine")) {
+      const std::string machine = flags.GetString("machine", "t3e");
+      const pam::CostModel model(machine == "sp2"
+                                     ? pam::MachineModel::IbmSp2()
+                                     : pam::MachineModel::CrayT3E());
+      if (flags.GetBool("explain", false)) {
+        std::printf("%s", pam::ExplainRun(model, algorithm,
+                                          result.metrics)
+                              .c_str());
+      } else {
+        std::printf("modeled %s response time: %.3fs\n",
+                    model.machine().name.c_str(),
+                    model.RunTime(algorithm, result.metrics));
+      }
+    }
+  }
+
+  if (flags.Has("save-itemsets")) {
+    const std::string out_path = flags.GetString("save-itemsets", "");
+    const pam::Status status =
+        pam::WriteFrequentItemsets(frequent, out_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.message().c_str());
+      return 1;
+    }
+    std::printf("saved frequent itemsets to %s\n", out_path.c_str());
+  }
+
+  if (flags.GetBool("maximal", false)) {
+    pam::FrequentItemsets maximal = pam::ExtractMaximal(frequent);
+    std::printf("maximal ");
+    PrintItemsets(maximal, db.size(), top);
+  } else {
+    PrintItemsets(frequent, db.size(), top);
+  }
+
+  if (flags.GetBool("rules", false)) {
+    const double minconf = flags.GetDouble("minconf", 50.0) / 100.0;
+    std::vector<pam::Rule> rules =
+        pam::GenerateRules(frequent, db.size(), minconf);
+    std::printf("\nrules at %.0f%% confidence: %zu\n", minconf * 100.0,
+                rules.size());
+    for (std::size_t i = 0; i < rules.size() && i < top; ++i) {
+      std::printf("  %s\n", rules[i].ToString().c_str());
+    }
+  }
+  return 0;
+}
