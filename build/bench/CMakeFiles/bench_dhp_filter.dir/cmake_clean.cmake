@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dhp_filter.dir/bench_dhp_filter.cpp.o"
+  "CMakeFiles/bench_dhp_filter.dir/bench_dhp_filter.cpp.o.d"
+  "bench_dhp_filter"
+  "bench_dhp_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dhp_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

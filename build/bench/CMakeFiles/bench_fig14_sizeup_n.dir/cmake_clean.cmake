@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_sizeup_n.dir/bench_fig14_sizeup_n.cpp.o"
+  "CMakeFiles/bench_fig14_sizeup_n.dir/bench_fig14_sizeup_n.cpp.o.d"
+  "bench_fig14_sizeup_n"
+  "bench_fig14_sizeup_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_sizeup_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_network_contention.dir/bench_network_contention.cpp.o"
+  "CMakeFiles/bench_network_contention.dir/bench_network_contention.cpp.o.d"
+  "bench_network_contention"
+  "bench_network_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_network_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

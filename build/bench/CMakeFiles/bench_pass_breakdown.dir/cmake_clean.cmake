@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pass_breakdown.dir/bench_pass_breakdown.cpp.o"
+  "CMakeFiles/bench_pass_breakdown.dir/bench_pass_breakdown.cpp.o.d"
+  "bench_pass_breakdown"
+  "bench_pass_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pass_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_section4_predictions.dir/bench_section4_predictions.cpp.o"
+  "CMakeFiles/bench_section4_predictions.dir/bench_section4_predictions.cpp.o.d"
+  "bench_section4_predictions"
+  "bench_section4_predictions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_section4_predictions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vij_model.dir/bench_vij_model.cpp.o"
+  "CMakeFiles/bench_vij_model.dir/bench_vij_model.cpp.o.d"
+  "bench_vij_model"
+  "bench_vij_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vij_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cluster_scaleup.cpp" "examples/CMakeFiles/cluster_scaleup.dir/cluster_scaleup.cpp.o" "gcc" "examples/CMakeFiles/cluster_scaleup.dir/cluster_scaleup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pam_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pam_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pam_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pam_hashtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pam_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pam_tdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pam_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pam_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_scaleup.dir/cluster_scaleup.cpp.o"
+  "CMakeFiles/cluster_scaleup.dir/cluster_scaleup.cpp.o.d"
+  "cluster_scaleup"
+  "cluster_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

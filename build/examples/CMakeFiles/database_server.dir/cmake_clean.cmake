@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_server.dir/database_server.cpp.o"
+  "CMakeFiles/database_server.dir/database_server.cpp.o.d"
+  "database_server"
+  "database_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_mining.dir/parallel_mining.cpp.o"
+  "CMakeFiles/parallel_mining.dir/parallel_mining.cpp.o.d"
+  "parallel_mining"
+  "parallel_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

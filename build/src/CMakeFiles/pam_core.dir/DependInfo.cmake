@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pam/core/apriori_gen.cc" "src/CMakeFiles/pam_core.dir/pam/core/apriori_gen.cc.o" "gcc" "src/CMakeFiles/pam_core.dir/pam/core/apriori_gen.cc.o.d"
+  "/root/repo/src/pam/core/candidate_partition.cc" "src/CMakeFiles/pam_core.dir/pam/core/candidate_partition.cc.o" "gcc" "src/CMakeFiles/pam_core.dir/pam/core/candidate_partition.cc.o.d"
+  "/root/repo/src/pam/core/itemsets_io.cc" "src/CMakeFiles/pam_core.dir/pam/core/itemsets_io.cc.o" "gcc" "src/CMakeFiles/pam_core.dir/pam/core/itemsets_io.cc.o.d"
+  "/root/repo/src/pam/core/maximal.cc" "src/CMakeFiles/pam_core.dir/pam/core/maximal.cc.o" "gcc" "src/CMakeFiles/pam_core.dir/pam/core/maximal.cc.o.d"
+  "/root/repo/src/pam/core/rulegen.cc" "src/CMakeFiles/pam_core.dir/pam/core/rulegen.cc.o" "gcc" "src/CMakeFiles/pam_core.dir/pam/core/rulegen.cc.o.d"
+  "/root/repo/src/pam/core/serial_apriori.cc" "src/CMakeFiles/pam_core.dir/pam/core/serial_apriori.cc.o" "gcc" "src/CMakeFiles/pam_core.dir/pam/core/serial_apriori.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pam_hashtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pam_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pam_tdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pam_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

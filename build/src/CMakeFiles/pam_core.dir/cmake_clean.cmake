@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pam_core.dir/pam/core/apriori_gen.cc.o"
+  "CMakeFiles/pam_core.dir/pam/core/apriori_gen.cc.o.d"
+  "CMakeFiles/pam_core.dir/pam/core/candidate_partition.cc.o"
+  "CMakeFiles/pam_core.dir/pam/core/candidate_partition.cc.o.d"
+  "CMakeFiles/pam_core.dir/pam/core/itemsets_io.cc.o"
+  "CMakeFiles/pam_core.dir/pam/core/itemsets_io.cc.o.d"
+  "CMakeFiles/pam_core.dir/pam/core/maximal.cc.o"
+  "CMakeFiles/pam_core.dir/pam/core/maximal.cc.o.d"
+  "CMakeFiles/pam_core.dir/pam/core/rulegen.cc.o"
+  "CMakeFiles/pam_core.dir/pam/core/rulegen.cc.o.d"
+  "CMakeFiles/pam_core.dir/pam/core/serial_apriori.cc.o"
+  "CMakeFiles/pam_core.dir/pam/core/serial_apriori.cc.o.d"
+  "libpam_core.a"
+  "libpam_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pam_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpam_core.a"
+)

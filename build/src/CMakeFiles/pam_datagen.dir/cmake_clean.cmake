@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pam_datagen.dir/pam/datagen/quest_gen.cc.o"
+  "CMakeFiles/pam_datagen.dir/pam/datagen/quest_gen.cc.o.d"
+  "libpam_datagen.a"
+  "libpam_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pam_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pam_hashtree.dir/pam/core/itemset_collection.cc.o"
+  "CMakeFiles/pam_hashtree.dir/pam/core/itemset_collection.cc.o.d"
+  "CMakeFiles/pam_hashtree.dir/pam/hashtree/hash_tree.cc.o"
+  "CMakeFiles/pam_hashtree.dir/pam/hashtree/hash_tree.cc.o.d"
+  "libpam_hashtree.a"
+  "libpam_hashtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pam_hashtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

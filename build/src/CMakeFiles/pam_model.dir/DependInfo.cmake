@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pam/model/analytic.cc" "src/CMakeFiles/pam_model.dir/pam/model/analytic.cc.o" "gcc" "src/CMakeFiles/pam_model.dir/pam/model/analytic.cc.o.d"
+  "/root/repo/src/pam/model/cost_model.cc" "src/CMakeFiles/pam_model.dir/pam/model/cost_model.cc.o" "gcc" "src/CMakeFiles/pam_model.dir/pam/model/cost_model.cc.o.d"
+  "/root/repo/src/pam/model/explain.cc" "src/CMakeFiles/pam_model.dir/pam/model/explain.cc.o" "gcc" "src/CMakeFiles/pam_model.dir/pam/model/explain.cc.o.d"
+  "/root/repo/src/pam/model/machine.cc" "src/CMakeFiles/pam_model.dir/pam/model/machine.cc.o" "gcc" "src/CMakeFiles/pam_model.dir/pam/model/machine.cc.o.d"
+  "/root/repo/src/pam/model/vij.cc" "src/CMakeFiles/pam_model.dir/pam/model/vij.cc.o" "gcc" "src/CMakeFiles/pam_model.dir/pam/model/vij.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pam_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pam_hashtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pam_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pam_tdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pam_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pam_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

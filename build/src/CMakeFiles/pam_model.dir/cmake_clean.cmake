@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pam_model.dir/pam/model/analytic.cc.o"
+  "CMakeFiles/pam_model.dir/pam/model/analytic.cc.o.d"
+  "CMakeFiles/pam_model.dir/pam/model/cost_model.cc.o"
+  "CMakeFiles/pam_model.dir/pam/model/cost_model.cc.o.d"
+  "CMakeFiles/pam_model.dir/pam/model/explain.cc.o"
+  "CMakeFiles/pam_model.dir/pam/model/explain.cc.o.d"
+  "CMakeFiles/pam_model.dir/pam/model/machine.cc.o"
+  "CMakeFiles/pam_model.dir/pam/model/machine.cc.o.d"
+  "CMakeFiles/pam_model.dir/pam/model/vij.cc.o"
+  "CMakeFiles/pam_model.dir/pam/model/vij.cc.o.d"
+  "libpam_model.a"
+  "libpam_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pam_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pam_mp.dir/pam/mp/comm.cc.o"
+  "CMakeFiles/pam_mp.dir/pam/mp/comm.cc.o.d"
+  "CMakeFiles/pam_mp.dir/pam/mp/runtime.cc.o"
+  "CMakeFiles/pam_mp.dir/pam/mp/runtime.cc.o.d"
+  "libpam_mp.a"
+  "libpam_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pam_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pam/parallel/cd.cc" "src/CMakeFiles/pam_parallel.dir/pam/parallel/cd.cc.o" "gcc" "src/CMakeFiles/pam_parallel.dir/pam/parallel/cd.cc.o.d"
+  "/root/repo/src/pam/parallel/common.cc" "src/CMakeFiles/pam_parallel.dir/pam/parallel/common.cc.o" "gcc" "src/CMakeFiles/pam_parallel.dir/pam/parallel/common.cc.o.d"
+  "/root/repo/src/pam/parallel/dd.cc" "src/CMakeFiles/pam_parallel.dir/pam/parallel/dd.cc.o" "gcc" "src/CMakeFiles/pam_parallel.dir/pam/parallel/dd.cc.o.d"
+  "/root/repo/src/pam/parallel/driver.cc" "src/CMakeFiles/pam_parallel.dir/pam/parallel/driver.cc.o" "gcc" "src/CMakeFiles/pam_parallel.dir/pam/parallel/driver.cc.o.d"
+  "/root/repo/src/pam/parallel/hd.cc" "src/CMakeFiles/pam_parallel.dir/pam/parallel/hd.cc.o" "gcc" "src/CMakeFiles/pam_parallel.dir/pam/parallel/hd.cc.o.d"
+  "/root/repo/src/pam/parallel/hpa.cc" "src/CMakeFiles/pam_parallel.dir/pam/parallel/hpa.cc.o" "gcc" "src/CMakeFiles/pam_parallel.dir/pam/parallel/hpa.cc.o.d"
+  "/root/repo/src/pam/parallel/idd.cc" "src/CMakeFiles/pam_parallel.dir/pam/parallel/idd.cc.o" "gcc" "src/CMakeFiles/pam_parallel.dir/pam/parallel/idd.cc.o.d"
+  "/root/repo/src/pam/parallel/metrics.cc" "src/CMakeFiles/pam_parallel.dir/pam/parallel/metrics.cc.o" "gcc" "src/CMakeFiles/pam_parallel.dir/pam/parallel/metrics.cc.o.d"
+  "/root/repo/src/pam/parallel/rulegen_parallel.cc" "src/CMakeFiles/pam_parallel.dir/pam/parallel/rulegen_parallel.cc.o" "gcc" "src/CMakeFiles/pam_parallel.dir/pam/parallel/rulegen_parallel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pam_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pam_hashtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pam_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pam_tdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pam_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pam_parallel.dir/pam/parallel/cd.cc.o"
+  "CMakeFiles/pam_parallel.dir/pam/parallel/cd.cc.o.d"
+  "CMakeFiles/pam_parallel.dir/pam/parallel/common.cc.o"
+  "CMakeFiles/pam_parallel.dir/pam/parallel/common.cc.o.d"
+  "CMakeFiles/pam_parallel.dir/pam/parallel/dd.cc.o"
+  "CMakeFiles/pam_parallel.dir/pam/parallel/dd.cc.o.d"
+  "CMakeFiles/pam_parallel.dir/pam/parallel/driver.cc.o"
+  "CMakeFiles/pam_parallel.dir/pam/parallel/driver.cc.o.d"
+  "CMakeFiles/pam_parallel.dir/pam/parallel/hd.cc.o"
+  "CMakeFiles/pam_parallel.dir/pam/parallel/hd.cc.o.d"
+  "CMakeFiles/pam_parallel.dir/pam/parallel/hpa.cc.o"
+  "CMakeFiles/pam_parallel.dir/pam/parallel/hpa.cc.o.d"
+  "CMakeFiles/pam_parallel.dir/pam/parallel/idd.cc.o"
+  "CMakeFiles/pam_parallel.dir/pam/parallel/idd.cc.o.d"
+  "CMakeFiles/pam_parallel.dir/pam/parallel/metrics.cc.o"
+  "CMakeFiles/pam_parallel.dir/pam/parallel/metrics.cc.o.d"
+  "CMakeFiles/pam_parallel.dir/pam/parallel/rulegen_parallel.cc.o"
+  "CMakeFiles/pam_parallel.dir/pam/parallel/rulegen_parallel.cc.o.d"
+  "libpam_parallel.a"
+  "libpam_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pam_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

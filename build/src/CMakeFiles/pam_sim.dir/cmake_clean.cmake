@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pam_sim.dir/pam/sim/network_sim.cc.o"
+  "CMakeFiles/pam_sim.dir/pam/sim/network_sim.cc.o.d"
+  "libpam_sim.a"
+  "libpam_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pam_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

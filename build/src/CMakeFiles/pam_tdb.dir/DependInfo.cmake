@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pam/tdb/database.cc" "src/CMakeFiles/pam_tdb.dir/pam/tdb/database.cc.o" "gcc" "src/CMakeFiles/pam_tdb.dir/pam/tdb/database.cc.o.d"
+  "/root/repo/src/pam/tdb/db_stats.cc" "src/CMakeFiles/pam_tdb.dir/pam/tdb/db_stats.cc.o" "gcc" "src/CMakeFiles/pam_tdb.dir/pam/tdb/db_stats.cc.o.d"
+  "/root/repo/src/pam/tdb/io.cc" "src/CMakeFiles/pam_tdb.dir/pam/tdb/io.cc.o" "gcc" "src/CMakeFiles/pam_tdb.dir/pam/tdb/io.cc.o.d"
+  "/root/repo/src/pam/tdb/page_buffer.cc" "src/CMakeFiles/pam_tdb.dir/pam/tdb/page_buffer.cc.o" "gcc" "src/CMakeFiles/pam_tdb.dir/pam/tdb/page_buffer.cc.o.d"
+  "/root/repo/src/pam/tdb/remap.cc" "src/CMakeFiles/pam_tdb.dir/pam/tdb/remap.cc.o" "gcc" "src/CMakeFiles/pam_tdb.dir/pam/tdb/remap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pam_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

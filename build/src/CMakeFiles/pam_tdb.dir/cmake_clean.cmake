@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pam_tdb.dir/pam/tdb/database.cc.o"
+  "CMakeFiles/pam_tdb.dir/pam/tdb/database.cc.o.d"
+  "CMakeFiles/pam_tdb.dir/pam/tdb/db_stats.cc.o"
+  "CMakeFiles/pam_tdb.dir/pam/tdb/db_stats.cc.o.d"
+  "CMakeFiles/pam_tdb.dir/pam/tdb/io.cc.o"
+  "CMakeFiles/pam_tdb.dir/pam/tdb/io.cc.o.d"
+  "CMakeFiles/pam_tdb.dir/pam/tdb/page_buffer.cc.o"
+  "CMakeFiles/pam_tdb.dir/pam/tdb/page_buffer.cc.o.d"
+  "CMakeFiles/pam_tdb.dir/pam/tdb/remap.cc.o"
+  "CMakeFiles/pam_tdb.dir/pam/tdb/remap.cc.o.d"
+  "libpam_tdb.a"
+  "libpam_tdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pam_tdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pam_util.dir/pam/util/bin_packing.cc.o"
+  "CMakeFiles/pam_util.dir/pam/util/bin_packing.cc.o.d"
+  "CMakeFiles/pam_util.dir/pam/util/stats.cc.o"
+  "CMakeFiles/pam_util.dir/pam/util/stats.cc.o.d"
+  "CMakeFiles/pam_util.dir/pam/util/status.cc.o"
+  "CMakeFiles/pam_util.dir/pam/util/status.cc.o.d"
+  "libpam_util.a"
+  "libpam_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pam_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

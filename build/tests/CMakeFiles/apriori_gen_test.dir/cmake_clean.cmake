@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apriori_gen_test.dir/core/apriori_gen_test.cc.o"
+  "CMakeFiles/apriori_gen_test.dir/core/apriori_gen_test.cc.o.d"
+  "apriori_gen_test"
+  "apriori_gen_test.pdb"
+  "apriori_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apriori_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

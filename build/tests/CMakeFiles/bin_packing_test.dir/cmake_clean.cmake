@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bin_packing_test.dir/util/bin_packing_test.cc.o"
+  "CMakeFiles/bin_packing_test.dir/util/bin_packing_test.cc.o.d"
+  "bin_packing_test"
+  "bin_packing_test.pdb"
+  "bin_packing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bin_packing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

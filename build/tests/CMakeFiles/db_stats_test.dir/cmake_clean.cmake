@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_stats_test.dir/tdb/db_stats_test.cc.o"
+  "CMakeFiles/db_stats_test.dir/tdb/db_stats_test.cc.o.d"
+  "db_stats_test"
+  "db_stats_test.pdb"
+  "db_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhp_filter_test.dir/core/dhp_filter_test.cc.o"
+  "CMakeFiles/dhp_filter_test.dir/core/dhp_filter_test.cc.o.d"
+  "dhp_filter_test"
+  "dhp_filter_test.pdb"
+  "dhp_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhp_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

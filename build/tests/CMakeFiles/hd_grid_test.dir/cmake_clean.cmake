@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_grid_test.dir/parallel/hd_grid_test.cc.o"
+  "CMakeFiles/hd_grid_test.dir/parallel/hd_grid_test.cc.o.d"
+  "hd_grid_test"
+  "hd_grid_test.pdb"
+  "hd_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpa_test.dir/parallel/hpa_test.cc.o"
+  "CMakeFiles/hpa_test.dir/parallel/hpa_test.cc.o.d"
+  "hpa_test"
+  "hpa_test.pdb"
+  "hpa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itemset_collection_test.dir/core/itemset_collection_test.cc.o"
+  "CMakeFiles/itemset_collection_test.dir/core/itemset_collection_test.cc.o.d"
+  "itemset_collection_test"
+  "itemset_collection_test.pdb"
+  "itemset_collection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itemset_collection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

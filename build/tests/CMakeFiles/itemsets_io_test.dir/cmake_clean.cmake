@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itemsets_io_test.dir/core/itemsets_io_test.cc.o"
+  "CMakeFiles/itemsets_io_test.dir/core/itemsets_io_test.cc.o.d"
+  "itemsets_io_test"
+  "itemsets_io_test.pdb"
+  "itemsets_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itemsets_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

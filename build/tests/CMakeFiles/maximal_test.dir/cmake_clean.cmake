@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maximal_test.dir/core/maximal_test.cc.o"
+  "CMakeFiles/maximal_test.dir/core/maximal_test.cc.o.d"
+  "maximal_test"
+  "maximal_test.pdb"
+  "maximal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maximal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miner_sweep_test.dir/core/miner_sweep_test.cc.o"
+  "CMakeFiles/miner_sweep_test.dir/core/miner_sweep_test.cc.o.d"
+  "miner_sweep_test"
+  "miner_sweep_test.pdb"
+  "miner_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miner_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

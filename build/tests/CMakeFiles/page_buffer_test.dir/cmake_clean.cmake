@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_buffer_test.dir/tdb/page_buffer_test.cc.o"
+  "CMakeFiles/page_buffer_test.dir/tdb/page_buffer_test.cc.o.d"
+  "page_buffer_test"
+  "page_buffer_test.pdb"
+  "page_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_behavior_test.dir/parallel/parallel_behavior_test.cc.o"
+  "CMakeFiles/parallel_behavior_test.dir/parallel/parallel_behavior_test.cc.o.d"
+  "parallel_behavior_test"
+  "parallel_behavior_test.pdb"
+  "parallel_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quest_gen_test.dir/datagen/quest_gen_test.cc.o"
+  "CMakeFiles/quest_gen_test.dir/datagen/quest_gen_test.cc.o.d"
+  "quest_gen_test"
+  "quest_gen_test.pdb"
+  "quest_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quest_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remap_test.dir/tdb/remap_test.cc.o"
+  "CMakeFiles/remap_test.dir/tdb/remap_test.cc.o.d"
+  "remap_test"
+  "remap_test.pdb"
+  "remap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rulegen_parallel_test.dir/parallel/rulegen_parallel_test.cc.o"
+  "CMakeFiles/rulegen_parallel_test.dir/parallel/rulegen_parallel_test.cc.o.d"
+  "rulegen_parallel_test"
+  "rulegen_parallel_test.pdb"
+  "rulegen_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rulegen_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serial_apriori_test.dir/core/serial_apriori_test.cc.o"
+  "CMakeFiles/serial_apriori_test.dir/core/serial_apriori_test.cc.o.d"
+  "serial_apriori_test"
+  "serial_apriori_test.pdb"
+  "serial_apriori_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serial_apriori_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

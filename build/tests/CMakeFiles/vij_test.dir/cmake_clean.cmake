@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vij_test.dir/model/vij_test.cc.o"
+  "CMakeFiles/vij_test.dir/model/vij_test.cc.o.d"
+  "vij_test"
+  "vij_test.pdb"
+  "vij_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vij_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pam_gen.dir/pam_gen.cpp.o"
+  "CMakeFiles/pam_gen.dir/pam_gen.cpp.o.d"
+  "pam_gen"
+  "pam_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pam_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pam_mine.dir/pam_mine.cpp.o"
+  "CMakeFiles/pam_mine.dir/pam_mine.cpp.o.d"
+  "pam_mine"
+  "pam_mine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pam_mine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
