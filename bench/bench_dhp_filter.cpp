@@ -30,6 +30,7 @@ int main() {
     cfg.apriori.minsup_fraction = 0.0075;
     cfg.apriori.tree = bench::BenchTreeConfig();
     cfg.apriori.dhp_buckets = buckets;
+    cfg.apriori.use_pass2_triangle = false;  // instrument pass 2 via the tree
     ParallelResult result = MineParallel(Algorithm::kCD, db, p, cfg);
 
     std::size_t c2 = 0;

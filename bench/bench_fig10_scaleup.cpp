@@ -38,6 +38,7 @@ int main() {
     ParallelConfig cfg;
     cfg.apriori.minsup_fraction = 0.02;
     cfg.apriori.tree = bench::BenchTreeConfig();
+    cfg.apriori.use_pass2_triangle = false;  // instrument pass 2 via the tree
     cfg.hd_threshold_m = 2000;  // scaled analogue of the paper's threshold
 
     std::printf("%6d", p);

@@ -28,6 +28,7 @@ int main() {
         tx_per_rank * static_cast<std::size_t>(p)));
     ParallelConfig cfg;
     cfg.apriori.minsup_fraction = 0.005;
+    cfg.apriori.use_pass2_triangle = false;  // instrument pass 2 via the tree
 
     ParallelResult dd = MineParallel(Algorithm::kDD, db, p, cfg);
     ParallelResult idd = MineParallel(Algorithm::kIDD, db, p, cfg);

@@ -40,6 +40,7 @@ int main() {
     ParallelConfig cfg;
     cfg.apriori.minsup_fraction = minsup;
     cfg.apriori.tree = bench::BenchTreeConfig();
+    cfg.apriori.use_pass2_triangle = false;  // instrument pass 2 via the tree
     cfg.hd_threshold_m = scaled_sp2.memory_capacity_candidates;
 
     // CD is memory-capped: hash tree partitioned, DB re-scanned per chunk.

@@ -28,6 +28,7 @@ int main() {
   base.apriori.minsup_fraction = 0.02;
   base.apriori.max_k = 3;
   base.apriori.tree = bench::BenchTreeConfig();
+  base.apriori.use_pass2_triangle = false;  // instrument pass 2 via the tree
 
   const CostModel model(MachineModel::CrayT3E());
 

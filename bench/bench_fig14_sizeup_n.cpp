@@ -32,6 +32,7 @@ int main() {
     cfg.apriori.minsup_fraction = 0.02;
     cfg.apriori.max_k = 3;
     cfg.apriori.tree = bench::BenchTreeConfig();
+    cfg.apriori.use_pass2_triangle = false;  // instrument pass 2 via the tree
     cfg.hd_forced_rows = 4;  // fixed grid, the paper's 8x8 analogue
 
     std::size_t m3 = 0;

@@ -1,0 +1,234 @@
+// Old-vs-new subset-counting kernel comparison on a T10.I4.D100K-style
+// Quest workload (10-item transactions, 4-item patterns, 100K transactions
+// at scale 1.0). Runs the classic recursive pointer-chasing traversal and
+// the flat structure-of-arrays kernel over identical trees, verifies the
+// counts and SubsetStats are bit-identical, times the specialized
+// triangular pass-2 counter against both, and writes the measurements to
+// BENCH_kernel.json. Exits non-zero on any count/stats mismatch.
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "pam/core/apriori_gen.h"
+#include "pam/hashtree/hash_tree.h"
+#include "pam/hashtree/pair_counter.h"
+#include "pam/util/timer.h"
+
+namespace {
+
+using namespace pam;
+
+// The classic synthetic benchmark dataset of the association-rule
+// literature: |T| = 10, |I| = 4, D = 100K, 1000 items.
+QuestConfig KernelWorkload(std::size_t n) {
+  QuestConfig q;
+  q.num_transactions = n;
+  q.num_items = 1000;
+  q.avg_transaction_len = 10;
+  q.avg_pattern_len = 4;
+  q.num_patterns = 400;
+  q.seed = 1997;
+  return q;
+}
+
+struct KernelRun {
+  double seconds = 0.0;
+  std::vector<Count> counts;
+  SubsetStats stats;
+};
+
+// Counts `candidates` over the whole database `reps` times with the given
+// kernel and keeps the fastest repetition (counts/stats are identical
+// across repetitions by construction).
+KernelRun RunKernel(const TransactionDatabase& db,
+                    const ItemsetCollection& candidates,
+                    HashTreeKernel kernel, int reps) {
+  HashTreeConfig shape =
+      HashTreeConfig::TunedFor(candidates.size(), candidates.k(), 8);
+  shape.kernel = kernel;
+  HashTree tree(candidates, shape);
+
+  KernelRun best;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<Count> counts(candidates.size(), 0);
+    SubsetStats stats;
+    WallTimer timer;
+    for (std::size_t t = 0; t < db.size(); ++t) {
+      tree.Subset(db.Transaction(t), std::span<Count>(counts), &stats);
+    }
+    const double s = timer.Seconds();
+    if (rep == 0 || s < best.seconds) {
+      best.seconds = s;
+      best.counts = std::move(counts);
+      best.stats = stats;
+    }
+  }
+  return best;
+}
+
+bool SameStats(const SubsetStats& a, const SubsetStats& b) {
+  return a.transactions == b.transactions &&
+         a.root_items_considered == b.root_items_considered &&
+         a.root_items_skipped == b.root_items_skipped &&
+         a.traversal_steps == b.traversal_steps &&
+         a.distinct_leaf_visits == b.distinct_leaf_visits &&
+         a.leaf_candidates_checked == b.leaf_candidates_checked;
+}
+
+struct PassReport {
+  int k = 0;
+  std::size_t num_candidates = 0;
+  double classic_seconds = 0.0;
+  double flat_seconds = 0.0;
+  double triangle_seconds = -1.0;  // < 0 when the pass has no triangle path
+  bool counts_identical = false;
+  bool stats_identical = false;
+};
+
+// Compares both tree kernels (and, at k == 2, the triangular counter) on
+// one candidate set. Returns the frequent survivors for the next pass.
+PassReport ComparePass(const TransactionDatabase& db,
+                       const ItemsetCollection& f_prev,
+                       const ItemsetCollection& candidates, int reps,
+                       Count minsup, ItemsetCollection* frequent_out) {
+  PassReport r;
+  r.k = candidates.k();
+  r.num_candidates = candidates.size();
+
+  KernelRun classic =
+      RunKernel(db, candidates, HashTreeKernel::kClassic, reps);
+  KernelRun flat = RunKernel(db, candidates, HashTreeKernel::kFlat, reps);
+  r.classic_seconds = classic.seconds;
+  r.flat_seconds = flat.seconds;
+  r.counts_identical = classic.counts == flat.counts;
+  r.stats_identical = SameStats(classic.stats, flat.stats);
+
+  if (r.k == 2 && TrianglePairCounter::Fits(f_prev.size(), 0)) {
+    double tri_best = 0.0;
+    std::vector<Count> tri_counts;
+    for (int rep = 0; rep < reps; ++rep) {
+      TrianglePairCounter tri(f_prev);
+      std::vector<Count> counts(candidates.size(), 0);
+      WallTimer timer;
+      for (std::size_t t = 0; t < db.size(); ++t) {
+        tri.AddTransaction(db.Transaction(t), nullptr);
+      }
+      tri.Extract(candidates, std::span<Count>(counts));
+      const double s = timer.Seconds();
+      if (rep == 0 || s < tri_best) {
+        tri_best = s;
+        tri_counts = std::move(counts);
+      }
+    }
+    r.triangle_seconds = tri_best;
+    r.counts_identical = r.counts_identical && tri_counts == flat.counts;
+  }
+
+  if (frequent_out != nullptr) {
+    ItemsetCollection survivors = candidates;
+    survivors.counts() = flat.counts;
+    survivors.PruneBelow(minsup);
+    *frequent_out = std::move(survivors);
+  }
+  return r;
+}
+
+void PrintPass(const PassReport& r, std::size_t n) {
+  const double classic_tps = static_cast<double>(n) / r.classic_seconds;
+  const double flat_tps = static_cast<double>(n) / r.flat_seconds;
+  std::printf("pass %d (%zu candidates):\n", r.k, r.num_candidates);
+  std::printf("  classic  %8.3f s  (%10.0f tx/s)\n", r.classic_seconds,
+              classic_tps);
+  std::printf("  flat     %8.3f s  (%10.0f tx/s)  speedup %.2fx\n",
+              r.flat_seconds, flat_tps,
+              r.classic_seconds / r.flat_seconds);
+  if (r.triangle_seconds >= 0.0) {
+    std::printf("  triangle %8.3f s  (%10.0f tx/s)  speedup %.2fx\n",
+                r.triangle_seconds,
+                static_cast<double>(n) / r.triangle_seconds,
+                r.classic_seconds / r.triangle_seconds);
+  }
+  std::printf("  counts identical: %s, stats identical: %s\n",
+              r.counts_identical ? "yes" : "NO",
+              r.stats_identical ? "yes" : "NO");
+}
+
+void AppendPassJson(std::string* out, const PassReport& r, std::size_t n) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"k\": %d, \"num_candidates\": %zu,\n"
+      "     \"classic_seconds\": %.6f, \"flat_seconds\": %.6f,\n"
+      "     \"classic_tx_per_sec\": %.1f, \"flat_tx_per_sec\": %.1f,\n"
+      "     \"flat_speedup\": %.4f, \"triangle_seconds\": %.6f,\n"
+      "     \"counts_identical\": %s, \"stats_identical\": %s}",
+      r.k, r.num_candidates, r.classic_seconds, r.flat_seconds,
+      static_cast<double>(n) / r.classic_seconds,
+      static_cast<double>(n) / r.flat_seconds,
+      r.classic_seconds / r.flat_seconds, r.triangle_seconds,
+      r.counts_identical ? "true" : "false",
+      r.stats_identical ? "true" : "false");
+  *out += buf;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "Subset-counting kernel: classic vs flat vs pass-2 triangle",
+      "engineering baseline for the Section IV counting terms "
+      "(T10.I4.D100K workload)");
+
+  const std::size_t n = bench::ScaledN(100000);
+  const TransactionDatabase db = GenerateQuest(KernelWorkload(n));
+  const Count minsup =
+      static_cast<Count>(static_cast<double>(n) * 0.005) + 1;
+  const int reps = 3;
+
+  std::vector<Count> item_counts = CountItems(db, {0, db.size()});
+  ItemsetCollection f1 = MakeF1(item_counts, minsup);
+  std::printf("N = %zu, minsup = %" PRIu64 ", |F1| = %zu\n\n", n,
+              static_cast<std::uint64_t>(minsup), f1.size());
+
+  std::vector<PassReport> reports;
+  ItemsetCollection prev = std::move(f1);
+  for (int k = 2; k <= 3; ++k) {
+    ItemsetCollection candidates = AprioriGen(prev);
+    if (candidates.size() < 2) break;
+    ItemsetCollection next(k);
+    reports.push_back(ComparePass(db, prev, candidates, reps, minsup, &next));
+    PrintPass(reports.back(), n);
+    std::printf("\n");
+    prev = std::move(next);
+    if (prev.size() < 2) break;
+  }
+
+  bool ok = !reports.empty();
+  std::string json = "{\n";
+  json += "  \"workload\": \"T10.I4.D" + std::to_string(n) + "\",\n";
+  json += "  \"transactions\": " + std::to_string(n) + ",\n";
+  json += "  \"reps\": " + std::to_string(reps) + ",\n";
+  json += "  \"passes\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    AppendPassJson(&json, reports[i], n);
+    json += i + 1 < reports.size() ? ",\n" : "\n";
+    ok = ok && reports[i].counts_identical && reports[i].stats_identical;
+  }
+  json += "  ]\n}\n";
+
+  std::FILE* f = std::fopen("BENCH_kernel.json", "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote BENCH_kernel.json\n");
+  }
+
+  if (!ok) {
+    std::printf("FAIL: kernel outputs differ\n");
+    return 1;
+  }
+  return 0;
+}

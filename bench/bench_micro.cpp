@@ -1,10 +1,16 @@
 // Micro benchmarks (google-benchmark) for the core data structures: hash
 // tree construction and subset counting, apriori_gen, the synthetic data
 // generator, bin packing, and the message-passing ring shift.
+//
+// Unless an explicit --benchmark_out is given, results are also written as
+// machine-readable JSON to BENCH_micro.json in the working directory.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <numeric>
+#include <string>
+#include <vector>
 
 #include "pam/core/apriori_gen.h"
 #include "pam/core/candidate_partition.h"
@@ -198,4 +204,26 @@ BENCHMARK(BM_PairBucketCounting);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  // Default to a JSON sidecar file so scripted runs get parseable output;
+  // an explicit --benchmark_out on the command line wins.
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

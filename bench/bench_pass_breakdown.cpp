@@ -30,6 +30,7 @@ int main() {
     cfg.apriori.minsup_fraction = 0.02;
     cfg.apriori.max_k = 3;
     cfg.apriori.tree = bench::BenchTreeConfig();
+    cfg.apriori.use_pass2_triangle = false;  // instrument pass 2 via the tree
 
     double cd_parts[3] = {0, 0, 0};
     double idd_parts[3] = {0, 0, 0};

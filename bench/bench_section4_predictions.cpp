@@ -22,6 +22,7 @@ int main() {
   cfg.apriori.minsup_fraction = 0.02;
   cfg.apriori.max_k = 3;
   cfg.apriori.tree = bench::BenchTreeConfig();
+  cfg.apriori.use_pass2_triangle = false;  // instrument pass 2 via the tree
   cfg.hd_forced_rows = 4;
 
   std::printf("N = %zu, pass 3, P sweep; seconds per pass\n\n", db.size());

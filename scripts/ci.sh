@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI gate: build and run the full test suite under both an optimized
+# Release configuration (-O3 -DNDEBUG, warnings as errors) and an
+# ASan/UBSan debug configuration. Uses the presets in CMakePresets.json.
+#
+#   scripts/ci.sh [release|sanitize]   (default: both)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+run_preset() {
+  local preset="$1"
+  echo "=== preset: $preset ==="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset"
+  ctest --preset "$preset"
+}
+
+case "${1:-all}" in
+  release) run_preset release ;;
+  sanitize) run_preset sanitize ;;
+  all)
+    run_preset release
+    run_preset sanitize
+    ;;
+  *)
+    echo "usage: scripts/ci.sh [release|sanitize]" >&2
+    exit 2
+    ;;
+esac

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "pam/core/apriori_gen.h"
+#include "pam/hashtree/pair_counter.h"
 #include "pam/util/timer.h"
 
 namespace pam {
@@ -35,13 +36,29 @@ namespace {
 
 // Counts `candidates` over the slice, honoring the memory cap by chunking.
 // Returns the number of database scans performed and accumulates subset
-// stats and tree-build inserts.
+// stats and tree-build inserts. When `f1_for_triangle` is non-null (pass 2
+// with the triangle path enabled) and the triangular array fits the memory
+// cap, the hash tree is bypassed entirely.
 std::size_t CountCandidates(const TransactionDatabase& db,
                             TransactionDatabase::Slice slice,
                             ItemsetCollection& candidates,
                             const AprioriConfig& config,
+                            const ItemsetCollection* f1_for_triangle,
                             SerialPassInfo* info) {
   const std::size_t m = candidates.size();
+  if (f1_for_triangle != nullptr &&
+      TrianglePairCounter::Fits(f1_for_triangle->size(),
+                                config.max_candidates_in_memory)) {
+    TrianglePairCounter tri(*f1_for_triangle);
+    SubsetStats* stats = info != nullptr ? &info->subset : nullptr;
+    for (std::size_t t = slice.begin; t < slice.end; ++t) {
+      tri.AddTransaction(db.Transaction(t), stats);
+    }
+    std::vector<Count> counts(m, 0);
+    tri.Extract(candidates, std::span<Count>(counts));
+    candidates.counts() = std::move(counts);
+    return 1;
+  }
   const std::size_t cap = config.max_candidates_in_memory == 0
                               ? m
                               : config.max_candidates_in_memory;
@@ -110,7 +127,10 @@ SerialResult MineSerial(const TransactionDatabase& db,
     info.num_candidates = candidates.size();
     if (candidates.empty()) break;
 
-    info.db_scans = CountCandidates(db, slice, candidates, config, &info);
+    const ItemsetCollection* f1_for_triangle =
+        (k == 2 && config.use_pass2_triangle) ? &prev : nullptr;
+    info.db_scans = CountCandidates(db, slice, candidates, config,
+                                    f1_for_triangle, &info);
     candidates.PruneBelow(result.minsup_count);
     info.num_frequent = candidates.size();
     info.seconds = timer.Seconds();

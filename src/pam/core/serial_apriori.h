@@ -39,6 +39,15 @@ struct AprioriConfig {
   /// C_2 (the pass the paper's Table II shows ballooning) shrinks.
   /// 0 = disabled.
   std::size_t dhp_buckets = 0;
+  /// Pass-2 specialization: count C_2 with a flat triangular array over
+  /// F_1 ranks instead of the hash tree (see TrianglePairCounter). Exact
+  /// same counts and frequent itemsets, much faster — but no tree means no
+  /// traversal/leaf-visit stats for pass 2, so the Figure 11/12
+  /// instrumentation runs disable it. Only taken when the triangle fits
+  /// max_candidates_in_memory. Used by the serial miner and the common
+  /// counting (CD) path; the partitioned formulations (DD/IDD/HD/HPA)
+  /// always use their candidate partitions.
+  bool use_pass2_triangle = true;
 
   /// Resolves the absolute support threshold for a database of size n.
   Count ResolveMinsup(std::size_t n) const;

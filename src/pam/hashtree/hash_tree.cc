@@ -9,6 +9,23 @@
 
 namespace pam {
 
+namespace {
+
+// Smallest power of two >= v (v >= 1).
+int NextPow2(int v) {
+  int p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+int Log2Pow2(int v) {
+  int s = 0;
+  while ((1 << s) < v) ++s;
+  return s;
+}
+
+}  // namespace
+
 HashTreeConfig HashTreeConfig::TunedFor(std::size_t num_candidates, int k,
                                         int target_s) {
   HashTreeConfig config;
@@ -16,12 +33,25 @@ HashTreeConfig HashTreeConfig::TunedFor(std::size_t num_candidates, int k,
   const double needed_leaves =
       static_cast<double>(num_candidates) /
       static_cast<double>(config.leaf_capacity);
-  // Smallest fanout with fanout^k >= needed_leaves.
-  double fanout = 4.0;
-  if (needed_leaves > 1.0 && k >= 1) {
-    fanout = std::ceil(std::pow(needed_leaves, 1.0 / k));
+  // Smallest power-of-two fanout in [4, 1024] with fanout^k >= needed
+  // leaves (powers of two keep the construction-time rounding a no-op, so
+  // the tuned shape is exactly what the tree builds).
+  int fanout = 4;
+  while (fanout < 1024 &&
+         std::pow(static_cast<double>(fanout), k) < needed_leaves) {
+    fanout <<= 1;
   }
-  config.fanout = static_cast<int>(std::min(1024.0, std::max(4.0, fanout)));
+  config.fanout = fanout;
+  const double paths = std::pow(static_cast<double>(fanout), k);
+  if (paths < needed_leaves) {
+    // Even the widest tree cannot reach M / S depth-k paths: leaves will
+    // chain at depth k regardless, so raise the capacity to the occupancy
+    // the tree can actually achieve. This keeps upper levels from
+    // splitting into chains of single-bucket internal nodes that add
+    // traversal steps without reducing leaf size.
+    config.leaf_capacity = static_cast<int>(
+        std::ceil(static_cast<double>(num_candidates) / paths));
+  }
   return config;
 }
 
@@ -44,15 +74,20 @@ HashTree::HashTree(const ItemsetCollection& candidates,
                    std::vector<std::uint32_t> candidate_ids,
                    HashTreeConfig config)
     : candidates_(candidates),
-      fanout_(config.fanout),
+      fanout_(NextPow2(std::max(2, config.fanout))),
+      mask_(static_cast<Item>(fanout_ - 1)),
+      shift_(Log2Pow2(fanout_)),
       leaf_capacity_(config.leaf_capacity),
-      k_(candidates.k()) {
+      k_(candidates.k()),
+      kernel_(config.kernel) {
   assert(fanout_ >= 2);
   assert(leaf_capacity_ >= 1);
   nodes_.emplace_back();  // root starts as an empty leaf
   num_leaves_ = 1;
   num_candidates_ = candidate_ids.size();
   for (std::uint32_t id : candidate_ids) Insert(id);
+  num_nodes_ = nodes_.size();
+  if (kernel_ == HashTreeKernel::kFlat) Freeze();
 }
 
 HashTree::HashTree(const ItemsetCollection& candidates, HashTreeConfig config)
@@ -124,8 +159,215 @@ void HashTree::SplitLeaf(std::int32_t node_index, int depth) {
   }
 }
 
+void HashTree::Freeze() {
+  // Assign dense ids: internal nodes index blocks of children_, leaves
+  // index the CSR arrays. nodes_ insertion order is preserved so the flat
+  // ids are deterministic.
+  const std::size_t n = nodes_.size();
+  std::vector<std::int32_t> flat_id(n);
+  std::int32_t next_internal = 0;
+  std::int32_t next_leaf = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    flat_id[i] = nodes_[i].is_leaf ? next_leaf++ : next_internal++;
+  }
+  const std::size_t num_internal = static_cast<std::size_t>(next_internal);
+  const std::size_t num_leaves = static_cast<std::size_t>(next_leaf);
+  assert(num_leaves == num_leaves_);
+
+  const auto encode = [&](std::int32_t node_index) {
+    if (node_index < 0) return kAbsent;
+    const std::size_t idx = static_cast<std::size_t>(node_index);
+    return nodes_[idx].is_leaf ? kLeafBase - flat_id[idx] : flat_id[idx];
+  };
+
+  children_.assign(num_internal << shift_, kAbsent);
+  leaf_offsets_.assign(num_leaves + 1, 0);
+  leaf_ids_.clear();
+  leaf_ids_.reserve(num_candidates_);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Node& node = nodes_[i];
+    if (node.is_leaf) continue;
+    std::int32_t* block =
+        children_.data() +
+        (static_cast<std::size_t>(flat_id[i]) << shift_);
+    for (int b = 0; b < fanout_; ++b) {
+      block[b] = encode(node.children[static_cast<std::size_t>(b)]);
+    }
+  }
+  // CSR leaves, in leaf-id order (= nodes_ order restricted to leaves).
+  for (std::size_t i = 0; i < n; ++i) {
+    const Node& node = nodes_[i];
+    if (!node.is_leaf) continue;
+    leaf_offsets_[static_cast<std::size_t>(flat_id[i]) + 1] =
+        static_cast<std::uint32_t>(node.leaf_candidates.size());
+  }
+  for (std::size_t l = 0; l < num_leaves; ++l) {
+    leaf_offsets_[l + 1] += leaf_offsets_[l];
+  }
+  leaf_ids_.resize(leaf_offsets_[num_leaves]);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Node& node = nodes_[i];
+    if (!node.is_leaf) continue;
+    std::uint32_t at = leaf_offsets_[static_cast<std::size_t>(flat_id[i])];
+    for (std::uint32_t id : node.leaf_candidates) leaf_ids_[at++] = id;
+  }
+  // Candidate item tuples copied leaf-ordered: the inner subset check
+  // walks this array sequentially instead of bouncing through the
+  // collection in candidate-id order.
+  leaf_items_.resize(leaf_ids_.size() * static_cast<std::size_t>(k_));
+  Item max_item = 0;
+  for (std::size_t j = 0; j < leaf_ids_.size(); ++j) {
+    ItemSpan items = candidates_.Get(leaf_ids_[j]);
+    std::copy(items.begin(), items.end(),
+              leaf_items_.begin() + j * static_cast<std::size_t>(k_));
+    max_item = std::max(max_item, items.back());
+  }
+  leaf_epoch_.assign(num_leaves, 0);
+  item_epoch_.assign(
+      leaf_ids_.empty() ? 0 : static_cast<std::size_t>(max_item) + 1, 0);
+  root_ref_ = encode(0);
+  stack_.resize(static_cast<std::size_t>(k_) + 1);
+
+  // The node-based tree is no longer needed; release it.
+  std::vector<Node>().swap(nodes_);
+}
+
 void HashTree::Subset(ItemSpan transaction, std::span<Count> counts,
                       SubsetStats* stats, const Bitmap* root_filter) {
+  if (kernel_ == HashTreeKernel::kClassic) {
+    SubsetClassic(transaction, counts, stats, root_filter);
+    return;
+  }
+  // Hoist the stats / root-filter branches out of the hot loops: pick one
+  // of four specialized instantiations once per transaction.
+  if (stats != nullptr) {
+    if (root_filter != nullptr) {
+      SubsetFlat<true, true>(transaction, counts, stats, root_filter);
+    } else {
+      SubsetFlat<true, false>(transaction, counts, stats, nullptr);
+    }
+  } else {
+    if (root_filter != nullptr) {
+      SubsetFlat<false, true>(transaction, counts, nullptr, root_filter);
+    } else {
+      SubsetFlat<false, false>(transaction, counts, nullptr, nullptr);
+    }
+  }
+}
+
+template <bool WithStats>
+void HashTree::CheckLeafFlat(std::int32_t leaf, ItemSpan transaction,
+                             std::span<Count> counts, SubsetStats* stats) {
+  (void)transaction;  // containment reads the item stamps, not the span
+  const std::size_t l = static_cast<std::size_t>(leaf);
+  // Distinct-leaf detection: a leaf already visited for this transaction
+  // contributes no further checking work (paper Section IV).
+  if (leaf_epoch_[l] == epoch_) return;
+  leaf_epoch_[l] = epoch_;
+  const std::uint32_t begin = leaf_offsets_[l];
+  const std::uint32_t end = leaf_offsets_[l + 1];
+  if constexpr (WithStats) {
+    ++stats->distinct_leaf_visits;
+    stats->leaf_candidates_checked += end - begin;
+  }
+  const Item* tuple =
+      leaf_items_.data() + static_cast<std::size_t>(begin) *
+                               static_cast<std::size_t>(k_);
+  // Containment via the per-item epoch stamps: every item of the
+  // transaction was stamped with the current epoch on entry, so a
+  // candidate is contained iff all k of its items carry the stamp.
+  const std::uint64_t e = epoch_;
+  const std::uint64_t* present = item_epoch_.data();
+  for (std::uint32_t j = begin; j < end;
+       ++j, tuple += static_cast<std::size_t>(k_)) {
+    bool all = true;
+    for (int a = 0; a < k_; ++a) {
+      if (present[tuple[static_cast<std::size_t>(a)]] != e) {
+        all = false;
+        break;
+      }
+    }
+    if (all) ++counts[leaf_ids_[j]];
+  }
+}
+
+template <bool WithStats, bool WithFilter>
+void HashTree::SubsetFlat(ItemSpan transaction, std::span<Count> counts,
+                          SubsetStats* stats, const Bitmap* root_filter) {
+  assert(counts.size() == candidates_.size());
+  if (static_cast<int>(transaction.size()) < k_) {
+    if constexpr (WithStats) ++stats->transactions;
+    return;
+  }
+  ++epoch_;
+  if constexpr (WithStats) ++stats->transactions;
+  // Stamp the transaction's items for the O(k) leaf containment check.
+  // Items beyond the largest candidate item cannot occur in any tuple.
+  {
+    const std::size_t limit = item_epoch_.size();
+    for (const Item item : transaction) {
+      if (static_cast<std::size_t>(item) < limit) item_epoch_[item] = epoch_;
+    }
+  }
+  const std::size_t last_start =
+      transaction.size() - static_cast<std::size_t>(k_) + 1;
+  const std::int32_t* children = children_.data();
+  Frame* frames = stack_.data();
+  const std::uint32_t tx_size = static_cast<std::uint32_t>(transaction.size());
+  for (std::size_t i = 0; i < last_start; ++i) {
+    const Item item = transaction[i];
+    if constexpr (WithFilter) {
+      if (!root_filter->Test(item)) {
+        if constexpr (WithStats) ++stats->root_items_skipped;
+        continue;
+      }
+    }
+    if constexpr (WithStats) ++stats->root_items_considered;
+    if (root_ref_ <= kLeafBase) {
+      // Degenerate single-node tree: check once (first viable item) and
+      // stop; further starts revisit the same leaf.
+      CheckLeafFlat<WithStats>(kLeafBase - root_ref_, transaction, counts,
+                               stats);
+      break;
+    }
+    if constexpr (WithStats) ++stats->traversal_steps;
+    const std::int32_t child =
+        children[(static_cast<std::size_t>(root_ref_) << shift_) +
+                 (item & mask_)];
+    if (child == kAbsent) continue;
+    if (child <= kLeafBase) {
+      CheckLeafFlat<WithStats>(kLeafBase - child, transaction, counts,
+                               stats);
+      continue;
+    }
+    // Iterative depth-first traversal below the root child; frames resume
+    // the per-node position loop, so the stack never exceeds k entries.
+    std::int32_t depth = 0;
+    frames[0] = Frame{child, static_cast<std::uint32_t>(i + 1)};
+    while (depth >= 0) {
+      Frame& f = frames[depth];
+      if (f.pos >= tx_size) {
+        --depth;
+        continue;
+      }
+      const Item next = transaction[f.pos++];
+      if constexpr (WithStats) ++stats->traversal_steps;
+      const std::int32_t c =
+          children[(static_cast<std::size_t>(f.node) << shift_) +
+                   (next & mask_)];
+      if (c == kAbsent) continue;
+      if (c <= kLeafBase) {
+        CheckLeafFlat<WithStats>(kLeafBase - c, transaction, counts, stats);
+      } else {
+        const std::uint32_t pos = f.pos;
+        frames[++depth] = Frame{c, pos};
+      }
+    }
+  }
+}
+
+void HashTree::SubsetClassic(ItemSpan transaction, std::span<Count> counts,
+                             SubsetStats* stats, const Bitmap* root_filter) {
   assert(counts.size() == candidates_.size());
   if (static_cast<int>(transaction.size()) < k_) {
     if (stats) ++stats->transactions;

@@ -12,23 +12,46 @@
 
 namespace pam {
 
+/// Which traversal implementation Subset() uses. Both kernels visit the
+/// exact same tree (construction is shared) and produce bit-identical
+/// counts and SubsetStats; kFlat is the production kernel, kClassic is the
+/// original pointer-chasing recursive traversal, kept as a reference for
+/// differential tests and the old-vs-new microbenchmark.
+enum class HashTreeKernel {
+  /// Frozen structure-of-arrays layout: one contiguous children array,
+  /// CSR leaf candidate ids, leaf-ordered candidate tuples, iterative
+  /// explicit-stack traversal, zero allocations per transaction.
+  kFlat,
+  /// Node-per-allocation tree with recursive traversal (the seed
+  /// implementation).
+  kClassic,
+};
+
 /// Shape parameters of the candidate hash tree (paper Section II). The
 /// paper tunes the branching factor so that the average number of
 /// candidates per leaf is S; here both knobs are explicit.
 struct HashTreeConfig {
-  /// Branching factor of internal nodes; items hash as `item % fanout`.
+  /// Branching factor of internal nodes. Rounded up to the next power of
+  /// two at construction so hashing is a bit mask; items hash as
+  /// `item & (fanout - 1)`.
   int fanout = 8;
   /// A leaf splits into an internal node when it would exceed this many
   /// candidates (unless its depth already equals k, where chaining is
   /// unavoidable because the hash path is exhausted).
   int leaf_capacity = 16;
+  /// Traversal kernel selection (see HashTreeKernel).
+  HashTreeKernel kernel = HashTreeKernel::kFlat;
 
   /// The paper's tuning rule: "the desired value of S can be obtained by
   /// adjusting the branching factor". Returns a config whose fanout is
   /// large enough that a tree over `num_candidates` k-itemsets has at
   /// least num_candidates / target_s distinct depth-k hash paths, so the
   /// average leaf holds about `target_s` candidates instead of chaining
-  /// (fanout^k >= M / S, clamped to [4, 1024]).
+  /// (fanout^k >= M / S, fanout a power of two in [4, 1024]). When even
+  /// fanout == 1024 cannot reach M / S paths, leaf chaining at depth k is
+  /// unavoidable and leaf_capacity is raised to ceil(M / fanout^k) so the
+  /// configured capacity matches the achievable occupancy (splitting past
+  /// that depth would only add traversal levels, not shrink leaves).
   static HashTreeConfig TunedFor(std::size_t num_candidates, int k,
                                  int target_s);
 };
@@ -62,6 +85,11 @@ struct SubsetStats {
 /// (possibly all of them); counts are written into an external array
 /// indexed by the collection's candidate index, so CD's global reduction
 /// and DD/IDD/HD's partitioned counting all reuse the same counting code.
+///
+/// Construction inserts into a conventional node-based tree; with the
+/// default kFlat kernel the finished tree is then frozen into a flat
+/// structure-of-arrays layout (see DESIGN.md, "Counting kernel memory
+/// layout") and the node storage is released. Subset() never allocates.
 class HashTree {
  public:
   /// Builds a tree over candidates `candidate_ids` of `candidates`.
@@ -82,8 +110,11 @@ class HashTree {
 
   /// Number of leaf nodes (the L of the paper's analysis).
   std::size_t num_leaves() const { return num_leaves_; }
-  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_nodes() const { return num_nodes_; }
   std::size_t num_candidates() const { return num_candidates_; }
+  /// Effective branching factor (config fanout rounded up to a power of
+  /// two).
+  int fanout() const { return fanout_; }
   /// Number of candidate insertions performed during construction; the cost
   /// model charges hash tree construction (the O(M) term) per insertion.
   std::uint64_t build_inserts() const { return build_inserts_; }
@@ -99,22 +130,63 @@ class HashTree {
     std::uint64_t visit_epoch = 0;
   };
 
+  // Flat child encoding: kAbsent for no child, >= 0 for an internal node
+  // id (index into children_ blocks), <= kLeafBase for a leaf (leaf id ==
+  // kLeafBase - value).
+  static constexpr std::int32_t kAbsent = -1;
+  static constexpr std::int32_t kLeafBase = -2;
+  struct Frame {
+    std::int32_t node;      // internal node id
+    std::uint32_t pos;      // next transaction position to hash
+  };
+
   void Insert(std::uint32_t candidate_id);
   void SplitLeaf(std::int32_t node_index, int depth);
+  void Freeze();
+  void SubsetClassic(ItemSpan transaction, std::span<Count> counts,
+                     SubsetStats* stats, const Bitmap* root_filter);
   void Visit(std::int32_t node_index, ItemSpan transaction, std::size_t pos,
              std::span<Count> counts, SubsetStats* stats);
+  template <bool WithStats, bool WithFilter>
+  void SubsetFlat(ItemSpan transaction, std::span<Count> counts,
+                  SubsetStats* stats, const Bitmap* root_filter);
+  template <bool WithStats>
+  void CheckLeafFlat(std::int32_t leaf, ItemSpan transaction,
+                     std::span<Count> counts, SubsetStats* stats);
 
-  int Hash(Item item) const { return static_cast<int>(item % fanout_); }
+  int Hash(Item item) const { return static_cast<int>(item & mask_); }
 
   const ItemsetCollection& candidates_;
-  const int fanout_;
+  const int fanout_;       // power of two
+  const Item mask_;        // fanout_ - 1
+  const int shift_;        // log2(fanout_)
   const int leaf_capacity_;
   const int k_;
-  std::vector<Node> nodes_;
+  const HashTreeKernel kernel_;
+  std::vector<Node> nodes_;  // cleared after Freeze() under kFlat
+  std::size_t num_nodes_ = 0;
   std::size_t num_leaves_ = 0;
   std::size_t num_candidates_ = 0;
   std::uint64_t build_inserts_ = 0;
   std::uint64_t epoch_ = 0;
+
+  // Frozen structure-of-arrays layout (kFlat only). children_ holds one
+  // fanout_-sized block per internal node; leaves are a CSR pair
+  // (leaf_offsets_, leaf_ids_) plus the candidates' item tuples copied
+  // leaf-ordered into leaf_items_ so the inner subset check reads
+  // contiguous memory.
+  std::int32_t root_ref_ = kAbsent;
+  std::vector<std::int32_t> children_;
+  std::vector<std::uint32_t> leaf_offsets_;
+  std::vector<std::uint32_t> leaf_ids_;
+  std::vector<Item> leaf_items_;
+  std::vector<std::uint64_t> leaf_epoch_;
+  // Per-item visit stamps (indexed by item value, sized to the largest
+  // candidate item): SubsetFlat stamps the transaction's items with the
+  // current epoch so the leaf check is k O(1) lookups instead of a merge
+  // against the transaction.
+  std::vector<std::uint64_t> item_epoch_;
+  std::vector<Frame> stack_;  // preallocated DFS stack, depth <= k
 };
 
 /// Reference counter: O(|T| * |C_k|) subset matching, used to validate the

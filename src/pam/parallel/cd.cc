@@ -52,27 +52,38 @@ RankOutput RunCdRank(const TransactionDatabase& db, Comm& comm,
     m.num_candidates_local = num_candidates;
     m.transactions_processed = slice.size();
 
-    const std::size_t chunk_cap = cap == 0 ? num_candidates : cap;
-    const std::size_t num_chunks =
-        (num_candidates + chunk_cap - 1) / chunk_cap;
-    m.db_scans = num_chunks;
-
     std::vector<Count> counts(num_candidates, 0);
-    for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
-      const std::size_t lo = chunk * chunk_cap;
-      const std::size_t hi = std::min(num_candidates, lo + chunk_cap);
-      std::vector<std::uint32_t> ids(hi - lo);
-      std::iota(ids.begin(), ids.end(), static_cast<std::uint32_t>(lo));
-      HashTree tree(candidates, std::move(ids), config.apriori.tree);
-      m.tree_build_inserts += tree.build_inserts();
-      for (std::size_t t = slice.begin; t < slice.end; ++t) {
-        tree.Subset(db.Transaction(t), std::span<Count>(counts), &m.subset);
+    if (parallel_internal::TryTrianglePass2(db, slice, prev, candidates, k,
+                                            config.apriori,
+                                            std::span<Count>(counts),
+                                            &m.subset)) {
+      // Triangular pass-2 kernel: one scan, one full-width reduction.
+      m.db_scans = 1;
+      comm.AllReduceSum(std::span<std::uint64_t>(counts));
+      m.reduction_words += num_candidates;
+    } else {
+      const std::size_t chunk_cap = cap == 0 ? num_candidates : cap;
+      const std::size_t num_chunks =
+          (num_candidates + chunk_cap - 1) / chunk_cap;
+      m.db_scans = num_chunks;
+
+      for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
+        const std::size_t lo = chunk * chunk_cap;
+        const std::size_t hi = std::min(num_candidates, lo + chunk_cap);
+        std::vector<std::uint32_t> ids(hi - lo);
+        std::iota(ids.begin(), ids.end(), static_cast<std::uint32_t>(lo));
+        HashTree tree(candidates, std::move(ids), config.apriori.tree);
+        m.tree_build_inserts += tree.build_inserts();
+        for (std::size_t t = slice.begin; t < slice.end; ++t) {
+          tree.Subset(db.Transaction(t), std::span<Count>(counts),
+                      &m.subset);
+        }
+        // Global reduction of this chunk's counts (the paper reduces per
+        // hash-tree partition when memory-capped).
+        comm.AllReduceSum(
+            std::span<std::uint64_t>(counts.data() + lo, hi - lo));
+        m.reduction_words += hi - lo;
       }
-      // Global reduction of this chunk's counts (the paper reduces per
-      // hash-tree partition when memory-capped).
-      comm.AllReduceSum(
-          std::span<std::uint64_t>(counts.data() + lo, hi - lo));
-      m.reduction_words += hi - lo;
     }
 
     candidates.counts() = std::move(counts);

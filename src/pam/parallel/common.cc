@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "pam/core/apriori_gen.h"
+#include "pam/hashtree/pair_counter.h"
 
 namespace pam {
 namespace parallel_internal {
@@ -41,6 +42,25 @@ ItemsetCollection GenerateCandidates(const ItemsetCollection& prev, int k,
     candidates = FilterByBuckets(candidates, dhp_buckets, minsup);
   }
   return candidates;
+}
+
+bool TryTrianglePass2(const TransactionDatabase& db,
+                      TransactionDatabase::Slice slice,
+                      const ItemsetCollection& f1,
+                      const ItemsetCollection& candidates, int k,
+                      const AprioriConfig& config, std::span<Count> counts,
+                      SubsetStats* stats) {
+  if (k != 2 || !config.use_pass2_triangle ||
+      !TrianglePairCounter::Fits(f1.size(),
+                                 config.max_candidates_in_memory)) {
+    return false;
+  }
+  TrianglePairCounter tri(f1);
+  for (std::size_t t = slice.begin; t < slice.end; ++t) {
+    tri.AddTransaction(db.Transaction(t), stats);
+  }
+  tri.Extract(candidates, counts);
+  return true;
 }
 
 ItemsetCollection ExchangeFrequent(Comm& comm, const ItemsetCollection& sets,

@@ -71,6 +71,20 @@ ItemsetCollection GenerateCandidates(const ItemsetCollection& prev, int k,
                                      const std::vector<Count>& dhp_buckets,
                                      Count minsup);
 
+/// Pass-2 specialization of the common counting path (CD counts the full
+/// candidate set over its local slice): when `k == 2`, the triangle flag
+/// is on, and the R*(R-1)/2 counter array fits the candidate-memory cap,
+/// counts all pairs of frequent items into a flat triangular array over
+/// F_1 ranks and scatters the result into `counts`, bypassing the hash
+/// tree (see TrianglePairCounter). Returns false when ineligible; the
+/// caller falls back to chunked hash-tree counting.
+bool TryTrianglePass2(const TransactionDatabase& db,
+                      TransactionDatabase::Slice slice,
+                      const ItemsetCollection& f1,
+                      const ItemsetCollection& candidates, int k,
+                      const AprioriConfig& config, std::span<Count> counts,
+                      SubsetStats* stats);
+
 /// Serializes `sets`, all-gathers across `comm`, and returns the
 /// lexicographically sorted union (partitions must be disjoint). Adds the
 /// exchanged words to `broadcast_words`.

@@ -80,9 +80,13 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(2, 3, 8),
                        ::testing::Values(1, 4, 64)),
     [](const ::testing::TestParamInfo<std::tuple<int, int, int>>& info) {
-      return "k" + std::to_string(std::get<0>(info.param)) + "_fan" +
-             std::to_string(std::get<1>(info.param)) + "_leaf" +
-             std::to_string(std::get<2>(info.param));
+      std::string name = "k";
+      name += std::to_string(std::get<0>(info.param));
+      name += "_fan";
+      name += std::to_string(std::get<1>(info.param));
+      name += "_leaf";
+      name += std::to_string(std::get<2>(info.param));
+      return name;
     });
 
 TEST(HashTreeTest, PartitionedTreesSumToFullCounts) {
@@ -255,6 +259,30 @@ TEST(HashTreeConfigTest, TunedTreeAvoidsLeafChaining) {
     tuned_tree.Subset(db.Transaction(t), std::span<Count>(counts), nullptr);
   }
   EXPECT_EQ(counts, CountBruteForce(db, {0, db.size()}, candidates));
+}
+
+TEST(HashTreeConfigTest, TunedForClampedFanoutRaisesLeafCapacity) {
+  // When even fanout 1024 cannot reach M / S depth-k paths, the capacity
+  // must be raised to the achievable occupancy ceil(M / fanout^k) instead
+  // of silently keeping the unreachable target S.
+  const std::size_t m = std::size_t{1} << 30;
+  HashTreeConfig big = HashTreeConfig::TunedFor(m, 2, 8);
+  EXPECT_EQ(big.fanout, 1024);
+  // 1024^2 = 2^20 paths for 2^30 candidates: 1024 candidates per leaf.
+  EXPECT_EQ(big.leaf_capacity, 1024);
+
+  HashTreeConfig mid = HashTreeConfig::TunedFor(5'000'000, 2, 2);
+  EXPECT_EQ(mid.fanout, 1024);
+  EXPECT_EQ(mid.leaf_capacity, 5);  // ceil(5e6 / 2^20)
+
+  // The invariant behind both cases: paths * capacity covers M.
+  const double paths = std::pow(1024.0, 2);
+  EXPECT_GE(paths * big.leaf_capacity + 1e-6, static_cast<double>(m));
+  EXPECT_GE(paths * mid.leaf_capacity + 1e-6, 5'000'000.0);
+
+  // Reachable configurations keep the exact target S.
+  HashTreeConfig small = HashTreeConfig::TunedFor(100'000, 3, 8);
+  EXPECT_EQ(small.leaf_capacity, 8);
 }
 
 TEST(HashTreeConfigTest, TunedForDegenerateInputs) {
