@@ -10,6 +10,7 @@
 // finish in seconds on one host core and preserve the N/M/P *ratios*. Set
 // PAM_BENCH_SCALE=<float> to grow or shrink every workload proportionally.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -19,6 +20,27 @@
 #include "pam/parallel/driver.h"
 
 namespace pam::bench {
+
+/// True if two mining results hold exactly the same itemsets with the same
+/// counts (used by the fault-recovery bench to certify exactness).
+inline bool SameItemsets(const FrequentItemsets& a,
+                         const FrequentItemsets& b) {
+  if (a.levels.size() != b.levels.size()) return false;
+  for (std::size_t l = 0; l < a.levels.size(); ++l) {
+    const auto& la = a.levels[l];
+    const auto& lb = b.levels[l];
+    if (la.size() != lb.size()) return false;
+    for (std::size_t i = 0; i < la.size(); ++i) {
+      ItemSpan sa = la.Get(i);
+      ItemSpan sb = lb.Get(i);
+      if (la.count(i) != lb.count(i) || sa.size() != sb.size() ||
+          !std::equal(sa.begin(), sa.end(), sb.begin())) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
 
 /// Multiplier from the PAM_BENCH_SCALE environment variable (default 1.0).
 inline double Scale() {

@@ -3,26 +3,46 @@
 # Release configuration (-O3 -DNDEBUG, warnings as errors) and an
 # ASan/UBSan debug configuration. Uses the presets in CMakePresets.json.
 #
+# Every ctest invocation carries a hard per-test timeout so a hung test
+# (e.g. a deadlocked rank in the message-passing substrate) fails the
+# gate instead of wedging CI. The chaos suite (ctest label `chaos`:
+# mining under an intentionally faulty transport) additionally gets a
+# dedicated pass under the sanitizers, where the fault-recovery paths
+# are most likely to expose lifetime or data-race bugs.
+#
 #   scripts/ci.sh [release|sanitize]   (default: both)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo"
 
+# Upper bound for any single test; generous because the sanitize preset
+# runs the mining matrices several times slower than release.
+test_timeout=300
+
 run_preset() {
   local preset="$1"
   echo "=== preset: $preset ==="
   cmake --preset "$preset"
   cmake --build --preset "$preset"
-  ctest --preset "$preset"
+  ctest --preset "$preset" --timeout "$test_timeout"
+}
+
+run_chaos_sanitized() {
+  echo "=== chaos suite under ASan/UBSan ==="
+  ctest --preset sanitize -L chaos --timeout "$test_timeout"
 }
 
 case "${1:-all}" in
   release) run_preset release ;;
-  sanitize) run_preset sanitize ;;
+  sanitize)
+    run_preset sanitize
+    run_chaos_sanitized
+    ;;
   all)
     run_preset release
     run_preset sanitize
+    run_chaos_sanitized
     ;;
   *)
     echo "usage: scripts/ci.sh [release|sanitize]" >&2

@@ -2,56 +2,152 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <thread>
 
 #include "pam/util/types.h"
 
 namespace pam {
 namespace internal_mp {
 
-void Mailbox::Put(Envelope envelope) {
+std::uint64_t EnvelopeChecksum(std::span<const std::byte> data) {
+  std::uint64_t h = 14695981039346656037ULL;  // FNV-1a offset basis
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+bool EnvelopeIntact(const Envelope& envelope) {
+  return envelope.data.size() == envelope.declared_size &&
+         EnvelopeChecksum(std::span<const std::byte>(envelope.data.data(),
+                                                     envelope.data.size())) ==
+             envelope.checksum;
+}
+
+void Mailbox::Put(Envelope envelope, bool front) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(envelope));
+    if (front) {
+      queue_.push_front(std::move(envelope));
+    } else {
+      queue_.push_back(std::move(envelope));
+    }
   }
   cv_.notify_all();
 }
 
-Envelope Mailbox::Take(std::uint64_t comm_id, int src_world, int tag) {
-  std::unique_lock<std::mutex> lock(mu_);
-  for (;;) {
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (it->comm_id == comm_id && it->tag == tag &&
-          (src_world == -1 || it->src_world == src_world)) {
-        Envelope out = std::move(*it);
-        queue_.erase(it);
-        return out;
-      }
+bool Mailbox::ScanLocked(std::uint64_t comm_id, int src_world, int tag,
+                         Envelope* envelope) {
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->comm_id != comm_id || it->tag != tag ||
+        (src_world != -1 && it->src_world != src_world)) {
+      ++it;
+      continue;
     }
-    cv_.wait(lock);
+    std::uint64_t& expected =
+        expected_seq_[std::make_tuple(comm_id, it->src_world, tag)];
+    if (it->seq < expected) {
+      // Stale duplicate of an already delivered message.
+      it = queue_.erase(it);
+      ++discarded_;
+      continue;
+    }
+    if (it->seq > expected) {
+      // Hole: an earlier message of this stream is still in flight
+      // (reordered behind us, or awaiting retransmit). Deliver it first.
+      ++it;
+      continue;
+    }
+    if (!EnvelopeIntact(*it)) {
+      // Corrupt or truncated attempt at the head of the stream; discard
+      // and keep scanning — an intact retransmit with the same seq may
+      // already be queued behind it.
+      it = queue_.erase(it);
+      ++discarded_;
+      continue;
+    }
+    *envelope = std::move(*it);
+    queue_.erase(it);
+    ++expected;
+    return true;
+  }
+  return false;
+}
+
+Mailbox::TakeStatus Mailbox::TakeFor(std::uint64_t comm_id, int src_world,
+                                     int tag, int timeout_ms,
+                                     Envelope* envelope) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool finite = timeout_ms >= 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(finite ? timeout_ms : 0);
+  for (;;) {
+    if (ScanLocked(comm_id, src_world, tag, envelope)) {
+      return TakeStatus::kOk;
+    }
+    if (aborted_) return TakeStatus::kAborted;
+    if (finite) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        if (ScanLocked(comm_id, src_world, tag, envelope)) {
+          return TakeStatus::kOk;
+        }
+        return aborted_ ? TakeStatus::kAborted : TakeStatus::kTimeout;
+      }
+    } else {
+      cv_.wait(lock);
+    }
   }
 }
 
-bool Mailbox::TryTake(std::uint64_t comm_id, int src_world, int tag,
-                      Envelope* envelope) {
+Mailbox::TakeStatus Mailbox::TryTake(std::uint64_t comm_id, int src_world,
+                                     int tag, Envelope* envelope) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if (it->comm_id == comm_id && it->tag == tag &&
-        (src_world == -1 || it->src_world == src_world)) {
-      *envelope = std::move(*it);
-      queue_.erase(it);
-      return true;
-    }
+  if (ScanLocked(comm_id, src_world, tag, envelope)) {
+    return TakeStatus::kOk;
   }
-  return false;
+  return aborted_ ? TakeStatus::kAborted : TakeStatus::kTimeout;
+}
+
+void Mailbox::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+void Mailbox::ResetAbort() {
+  std::lock_guard<std::mutex> lock(mu_);
+  aborted_ = false;
+}
+
+std::uint64_t Mailbox::DiscardedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return discarded_;
 }
 
 WorldState::WorldState(int n)
     : num_ranks(n),
       mailboxes(static_cast<std::size_t>(n)),
       bytes_sent(static_cast<std::size_t>(n)),
-      messages_sent(static_cast<std::size_t>(n)) {
+      messages_sent(static_cast<std::size_t>(n)),
+      senders(static_cast<std::size_t>(n)),
+      faults_injected(static_cast<std::size_t>(n)),
+      send_retries(static_cast<std::size_t>(n)) {
   for (auto& b : bytes_sent) b.store(0);
   for (auto& m : messages_sent) m.store(0);
+  for (auto& f : faults_injected) f.store(0);
+  for (auto& r : send_retries) r.store(0);
+}
+
+void WorldState::Abort() {
+  for (Mailbox& box : mailboxes) box.Shutdown();
+}
+
+void WorldState::ResetAbort() {
+  for (Mailbox& box : mailboxes) box.ResetAbort();
 }
 
 }  // namespace internal_mp
@@ -72,23 +168,118 @@ constexpr int kBcastTag = kCollectiveBase + 6;
 
 void Comm::Send(int dst, int tag, std::span<const std::byte> data) {
   assert(dst >= 0 && dst < size());
-  assert(tag < kCollectiveBase || tag >= kCollectiveBase);
-  internal_mp::Envelope env;
-  env.comm_id = comm_id_;
-  env.src_world = WorldRankOf(rank_);
-  env.tag = tag;
-  env.data.assign(data.begin(), data.end());
+  const int src_world = WorldRankOf(rank_);
   const int dst_world = WorldRankOf(dst);
-  world_->bytes_sent[static_cast<std::size_t>(env.src_world)] += data.size();
-  world_->messages_sent[static_cast<std::size_t>(env.src_world)] += 1;
-  world_->mailboxes[static_cast<std::size_t>(dst_world)].Put(std::move(env));
+  // Sequence numbers are per (comm, src, dst, tag) stream; only this
+  // rank's thread touches its own sender state, so no lock is needed.
+  std::uint64_t& seq_counter =
+      world_->senders[static_cast<std::size_t>(src_world)]
+          .next_seq[std::make_tuple(comm_id_, dst_world, tag)];
+  const std::uint64_t seq = seq_counter++;
+  // Traffic counters record the logical payload once, whatever the fault
+  // schedule does to its delivery — figure benches stay exact.
+  world_->bytes_sent[static_cast<std::size_t>(src_world)] += data.size();
+  world_->messages_sent[static_cast<std::size_t>(src_world)] += 1;
+  internal_mp::Mailbox& box =
+      world_->mailboxes[static_cast<std::size_t>(dst_world)];
+
+  auto make_envelope = [&] {
+    internal_mp::Envelope env;
+    env.comm_id = comm_id_;
+    env.src_world = src_world;
+    env.tag = tag;
+    env.seq = seq;
+    env.declared_size = data.size();
+    env.checksum = internal_mp::EnvelopeChecksum(data);
+    env.data.assign(data.begin(), data.end());
+    return env;
+  };
+
+  const FaultPlan& plan = world_->fault_plan;
+  if (!plan.enabled()) {
+    box.Put(make_envelope());
+    return;
+  }
+
+  const int max_attempts = 1 + std::max(0, plan.config().max_retries);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      world_->send_retries[static_cast<std::size_t>(src_world)] += 1;
+    }
+    FaultKind fault = plan.Decide(src_world, dst_world, tag, seq, attempt);
+    if (data.empty() &&
+        (fault == FaultKind::kCorrupt || fault == FaultKind::kTruncate)) {
+      fault = FaultKind::kDrop;  // nothing to mutilate in an empty payload
+    }
+    if (fault != FaultKind::kNone) {
+      world_->faults_injected[static_cast<std::size_t>(src_world)] += 1;
+    }
+    switch (fault) {
+      case FaultKind::kNone:
+        box.Put(make_envelope());
+        return;
+      case FaultKind::kCorrupt: {
+        internal_mp::Envelope env = make_envelope();
+        CorruptBytes(&env.data,
+                     plan.Derive(src_world, dst_world, tag, seq, attempt, 1));
+        box.Put(std::move(env));
+        break;  // detected at the receiver; retransmit
+      }
+      case FaultKind::kTruncate: {
+        internal_mp::Envelope env = make_envelope();
+        env.data.resize(TruncatedSize(
+            env.data.size(),
+            plan.Derive(src_world, dst_world, tag, seq, attempt, 2)));
+        box.Put(std::move(env));
+        break;  // detected at the receiver; retransmit
+      }
+      case FaultKind::kDrop:
+        break;  // never delivered; retransmit
+      case FaultKind::kDuplicate:
+        box.Put(make_envelope());
+        box.Put(make_envelope());  // second copy filtered by seq
+        return;
+      case FaultKind::kReorder:
+        box.Put(make_envelope(), /*front=*/true);  // resequenced at receiver
+        return;
+      case FaultKind::kStall:
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(plan.config().stall_ticks_ms));
+        box.Put(make_envelope());
+        return;
+    }
+  }
+  // Retransmit budget exhausted without an intact delivery: the message is
+  // lost. The receiver's deadline converts this into CommError{kTimeout}.
+}
+
+void Comm::ThrowTakeFailure(internal_mp::Mailbox::TakeStatus status, int src,
+                            int tag) const {
+  using TakeStatus = internal_mp::Mailbox::TakeStatus;
+  const CommErrorKind kind = status == TakeStatus::kTimeout
+                                 ? CommErrorKind::kTimeout
+                                 : CommErrorKind::kAborted;
+  throw CommError(
+      kind, rank_, src, tag,
+      status == TakeStatus::kTimeout
+          ? "no intact message arrived before the receive deadline (comm " +
+                std::to_string(comm_id_) + ")"
+          : "world aborted while waiting (comm " + std::to_string(comm_id_) +
+                ")");
 }
 
 std::vector<std::byte> Comm::Recv(int src, int tag, int* actual_src) {
   const int src_world = src == -1 ? -1 : WorldRankOf(src);
-  internal_mp::Envelope env =
-      world_->mailboxes[static_cast<std::size_t>(WorldRankOf(rank_))].Take(
-          comm_id_, src_world, tag);
+  const int timeout_ms = world_->fault_plan.enabled()
+                             ? world_->fault_plan.config().recv_timeout_ms
+                             : -1;
+  internal_mp::Envelope env;
+  const auto status =
+      world_->mailboxes[static_cast<std::size_t>(WorldRankOf(rank_))].TakeFor(
+          comm_id_, src_world, tag, timeout_ms, &env);
+  if (status != internal_mp::Mailbox::TakeStatus::kOk) {
+    ThrowTakeFailure(status, src, tag);
+  }
   if (actual_src != nullptr) *actual_src = CommRankOfWorld(env.src_world);
   return std::move(env.data);
 }
@@ -97,10 +288,13 @@ bool Comm::TryRecv(int src, int tag, std::vector<std::byte>* data,
                    int* actual_src) {
   const int src_world = src == -1 ? -1 : WorldRankOf(src);
   internal_mp::Envelope env;
-  if (!world_->mailboxes[static_cast<std::size_t>(WorldRankOf(rank_))]
-           .TryTake(comm_id_, src_world, tag, &env)) {
-    return false;
+  const auto status =
+      world_->mailboxes[static_cast<std::size_t>(WorldRankOf(rank_))].TryTake(
+          comm_id_, src_world, tag, &env);
+  if (status == internal_mp::Mailbox::TakeStatus::kAborted) {
+    ThrowTakeFailure(status, src, tag);
   }
+  if (status != internal_mp::Mailbox::TakeStatus::kOk) return false;
   if (actual_src != nullptr) *actual_src = CommRankOfWorld(env.src_world);
   *data = std::move(env.data);
   return true;
@@ -245,6 +439,15 @@ int Comm::CommRankOfWorld(int world_rank) const {
 std::uint64_t Comm::MyBytesSent() const {
   return world_->bytes_sent[static_cast<std::size_t>(WorldRankOf(rank_))]
       .load();
+}
+
+CommFaultStats Comm::MyFaultStats() const {
+  const auto me = static_cast<std::size_t>(WorldRankOf(rank_));
+  CommFaultStats stats;
+  stats.injected = world_->faults_injected[me].load();
+  stats.retries = world_->send_retries[me].load();
+  stats.detected = world_->mailboxes[me].DiscardedCount();
+  return stats;
 }
 
 }  // namespace pam

@@ -7,10 +7,14 @@
 #include <cstdint>
 #include <cstring>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <tuple>
 #include <vector>
+
+#include "pam/mp/fault.h"
 
 namespace pam {
 
@@ -25,6 +29,16 @@ namespace pam {
 /// return), so programs cannot deadlock on finite communication buffers;
 /// the cost model charges DD's finite-buffer idling analytically instead.
 /// Message order is FIFO per (source, communicator, tag).
+///
+/// Unlike the paper's substrate, this one does not assume the transport is
+/// perfect: every envelope carries a framing header (sequence number,
+/// length, payload checksum), receives deliver a stream's envelopes in
+/// sequence order after verifying integrity, and a deterministic
+/// fault-injection schedule (FaultPlan) can corrupt, truncate, duplicate,
+/// drop, reorder, or stall any delivery attempt. Recoverable faults are
+/// repaired transparently (bounded sender retransmit + receiver
+/// resequencing/dup-discard); unrecoverable ones surface as a structured
+/// CommError instead of silently wrong counts.
 
 namespace internal_mp {
 
@@ -32,35 +46,95 @@ struct Envelope {
   std::uint64_t comm_id = 0;
   int src_world = 0;
   int tag = 0;
+  /// Framing header: position in the (comm_id, src, dst, tag) stream,
+  /// declared payload length, and FNV-1a checksum of the payload at send
+  /// time. Duplicates and reorders are repaired from `seq`; corruption
+  /// and truncation are detected from `declared_size`/`checksum`.
+  std::uint64_t seq = 0;
+  std::uint64_t declared_size = 0;
+  std::uint64_t checksum = 0;
   std::vector<std::byte> data;
 };
 
-/// One rank's incoming message queue.
+/// FNV-1a 64-bit checksum of a payload.
+std::uint64_t EnvelopeChecksum(std::span<const std::byte> data);
+
+/// True if the envelope's payload matches its framing header.
+bool EnvelopeIntact(const Envelope& envelope);
+
+/// One rank's incoming message queue. Matching is by (comm_id, src, tag)
+/// stream; within a stream, envelopes are delivered strictly in sequence
+/// order, and envelopes that fail integrity checks (or repeat an already
+/// delivered sequence number) are discarded on sight.
 class Mailbox {
  public:
-  void Put(Envelope envelope);
-  /// Removes and returns the first message matching (comm_id, src, tag);
-  /// src == -1 matches any source. Blocks until one arrives.
-  Envelope Take(std::uint64_t comm_id, int src_world, int tag);
+  enum class TakeStatus {
+    kOk,       // *envelope filled
+    kTimeout,  // deadline expired (TakeFor) / nothing deliverable (TryTake)
+    kAborted,  // Shutdown() was called; the world is tearing down
+  };
 
-  /// Non-blocking Take: returns false if no matching message is queued.
-  bool TryTake(std::uint64_t comm_id, int src_world, int tag,
-               Envelope* envelope);
+  /// `front` = true injects at the head of the queue (reorder fault).
+  void Put(Envelope envelope, bool front = false);
+
+  /// Removes and returns the next in-sequence intact message matching
+  /// (comm_id, src, tag); src == -1 matches any source. Blocks until one
+  /// arrives, the deadline expires (timeout_ms >= 0), or Shutdown() is
+  /// called. timeout_ms < 0 means no deadline.
+  TakeStatus TakeFor(std::uint64_t comm_id, int src_world, int tag,
+                     int timeout_ms, Envelope* envelope);
+
+  /// Non-blocking TakeFor: never waits. kTimeout means nothing
+  /// deliverable is queued right now.
+  TakeStatus TryTake(std::uint64_t comm_id, int src_world, int tag,
+                     Envelope* envelope);
+
+  /// Wakes all blocked takers; they (and all future takers that find no
+  /// deliverable message) return kAborted until ResetAbort().
+  void Shutdown();
+  void ResetAbort();
+
+  /// Bad envelopes (corrupt, truncated, stale duplicate) discarded so far.
+  std::uint64_t DiscardedCount() const;
 
  private:
-  std::mutex mu_;
+  /// Scans the queue for the first deliverable envelope, erasing stale
+  /// duplicates and corrupt attempts along the way. Caller holds mu_.
+  bool ScanLocked(std::uint64_t comm_id, int src_world, int tag,
+                  Envelope* envelope);
+
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Envelope> queue_;
+  /// Next expected sequence number per (comm_id, src_world, tag) stream.
+  std::map<std::tuple<std::uint64_t, int, int>, std::uint64_t> expected_seq_;
+  std::uint64_t discarded_ = 0;
+  bool aborted_ = false;
 };
 
-/// State shared by every rank of one Runtime: mailboxes and traffic
-/// counters.
+/// Per-sender stream state: next sequence number per destination stream.
+/// Each rank's thread only ever touches its own SenderState, so no lock.
+struct SenderState {
+  std::map<std::tuple<std::uint64_t, int, int>, std::uint64_t> next_seq;
+};
+
+/// State shared by every rank of one Runtime: mailboxes, traffic
+/// counters, sender sequence state, and the fault-injection plan.
 struct WorldState {
   explicit WorldState(int num_ranks);
   const int num_ranks;
   std::vector<Mailbox> mailboxes;
   std::vector<std::atomic<std::uint64_t>> bytes_sent;
   std::vector<std::atomic<std::uint64_t>> messages_sent;
+  std::vector<SenderState> senders;
+  std::vector<std::atomic<std::uint64_t>> faults_injected;
+  std::vector<std::atomic<std::uint64_t>> send_retries;
+  FaultPlan fault_plan;  // default: disabled
+
+  /// Wakes every blocked receive; used when a rank fails so the others
+  /// unwind (with CommError{kAborted}) instead of deadlocking the join.
+  void Abort();
+  void ResetAbort();
 };
 
 }  // namespace internal_mp
@@ -91,14 +165,20 @@ class Comm {
   // ---- Point to point ------------------------------------------------
 
   /// Blocking-buffered send of raw bytes to rank `dst` of this comm.
+  /// Consults the world's FaultPlan: recoverable injected faults trigger
+  /// bounded retransmits; an exhausted retransmit budget loses the
+  /// message (the receiver's deadline turns that into CommError).
   void Send(int dst, int tag, std::span<const std::byte> data);
   /// Receives a message from `src` (-1 = any member) with tag `tag`.
   /// If `actual_src` is non-null it receives the sender's comm rank.
+  /// Throws CommError on receive deadline (fault injection enabled) or
+  /// world abort.
   std::vector<std::byte> Recv(int src, int tag, int* actual_src = nullptr);
 
   /// Non-blocking receive: returns true and fills `data` if a matching
   /// message was already queued. DD uses this to process remote pages as
-  /// they arrive while still generating its own sends.
+  /// they arrive while still generating its own sends. Throws CommError
+  /// {kAborted} if the world is tearing down.
   bool TryRecv(int src, int tag, std::vector<std::byte>* data,
                int* actual_src = nullptr);
 
@@ -160,8 +240,15 @@ class Comm {
   int RightNeighbor() const { return (rank_ + 1) % size(); }
   int LeftNeighbor() const { return (rank_ + size() - 1) % size(); }
 
-  /// Total bytes this world rank has sent so far (all comms).
+  /// Total bytes this world rank has sent so far (all comms). Counts
+  /// logical payload bytes only — injected duplicates/retransmits do not
+  /// inflate the traffic figures.
   std::uint64_t MyBytesSent() const;
+
+  /// Fault activity of this world rank so far (all comms): faults the
+  /// plan injected on its sends, retransmit attempts, and bad envelopes
+  /// its receives discarded.
+  CommFaultStats MyFaultStats() const;
 
  private:
   friend class Runtime;
@@ -176,6 +263,10 @@ class Comm {
     return members_[static_cast<std::size_t>(comm_rank)];
   }
   int CommRankOfWorld(int world_rank) const;
+
+  /// Throws the CommError for a failed take.
+  [[noreturn]] void ThrowTakeFailure(internal_mp::Mailbox::TakeStatus status,
+                                     int src, int tag) const;
 
   std::shared_ptr<internal_mp::WorldState> world_;
   std::uint64_t comm_id_ = 0;

@@ -1,0 +1,162 @@
+#include "pam/mp/fault.h"
+
+#include <cassert>
+
+namespace pam {
+namespace {
+
+// splitmix64 finalizer: full-avalanche mix of a 64-bit state.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double ToUnitDouble(std::uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kTruncate:
+      return "truncate";
+    case FaultKind::kDuplicate:
+      return "duplicate";
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kReorder:
+      return "reorder";
+    case FaultKind::kStall:
+      return "stall";
+  }
+  return "?";
+}
+
+const char* CommErrorKindName(CommErrorKind kind) {
+  switch (kind) {
+    case CommErrorKind::kTimeout:
+      return "timeout";
+    case CommErrorKind::kAborted:
+      return "aborted";
+  }
+  return "?";
+}
+
+CommError::CommError(CommErrorKind kind, int rank, int peer, int tag,
+                     const std::string& detail)
+    : std::runtime_error("CommError{" + std::string(CommErrorKindName(kind)) +
+                         " rank=" + std::to_string(rank) +
+                         " peer=" + std::to_string(peer) +
+                         " tag=" + std::to_string(tag) + "}: " + detail),
+      kind_(kind),
+      rank_(rank),
+      peer_(peer),
+      tag_(tag) {}
+
+FaultConfig FaultConfig::Uniform(FaultKind kind, double prob,
+                                 std::uint64_t seed, int max_retries) {
+  FaultConfig config;
+  config.enabled = true;
+  config.seed = seed;
+  config.max_retries = max_retries;
+  switch (kind) {
+    case FaultKind::kNone:
+      break;
+    case FaultKind::kCorrupt:
+      config.corrupt_prob = prob;
+      break;
+    case FaultKind::kTruncate:
+      config.truncate_prob = prob;
+      break;
+    case FaultKind::kDuplicate:
+      config.duplicate_prob = prob;
+      break;
+    case FaultKind::kDrop:
+      config.drop_prob = prob;
+      break;
+    case FaultKind::kReorder:
+      config.reorder_prob = prob;
+      break;
+    case FaultKind::kStall:
+      config.stall_prob = prob;
+      break;
+  }
+  return config;
+}
+
+FaultConfig FaultConfig::Mixed(double total_prob, std::uint64_t seed,
+                               int max_retries) {
+  FaultConfig config;
+  config.enabled = true;
+  config.seed = seed;
+  config.max_retries = max_retries;
+  const double each = total_prob / 6.0;
+  config.corrupt_prob = each;
+  config.truncate_prob = each;
+  config.duplicate_prob = each;
+  config.drop_prob = each;
+  config.reorder_prob = each;
+  config.stall_prob = each;
+  return config;
+}
+
+std::uint64_t FaultPlan::Derive(int src_world, int dst_world, int tag,
+                                std::uint64_t seq, int attempt,
+                                std::uint64_t salt) const {
+  std::uint64_t x = config_.seed;
+  x = Mix64(x ^ static_cast<std::uint64_t>(src_world));
+  x = Mix64(x ^ static_cast<std::uint64_t>(dst_world));
+  x = Mix64(x ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)));
+  x = Mix64(x ^ seq);
+  x = Mix64(x ^ static_cast<std::uint64_t>(attempt));
+  return Mix64(x ^ salt);
+}
+
+FaultKind FaultPlan::Decide(int src_world, int dst_world, int tag,
+                            std::uint64_t seq, int attempt) const {
+  if (!config_.enabled) return FaultKind::kNone;
+  const double u =
+      ToUnitDouble(Derive(src_world, dst_world, tag, seq, attempt, 0));
+  double edge = 0.0;
+  const struct {
+    FaultKind kind;
+    double prob;
+  } table[] = {
+      {FaultKind::kCorrupt, config_.corrupt_prob},
+      {FaultKind::kTruncate, config_.truncate_prob},
+      {FaultKind::kDuplicate, config_.duplicate_prob},
+      {FaultKind::kDrop, config_.drop_prob},
+      {FaultKind::kReorder, config_.reorder_prob},
+      {FaultKind::kStall, config_.stall_prob},
+  };
+  for (const auto& row : table) {
+    edge += row.prob;
+    if (u < edge) return row.kind;
+  }
+  return FaultKind::kNone;
+}
+
+void CorruptBytes(std::vector<std::byte>* data, std::uint64_t r) {
+  if (data->empty()) return;
+  // Flip up to three bytes at derived positions; always at least one, and
+  // always a real change (xor with a non-zero mask).
+  const std::size_t n = data->size();
+  for (int i = 0; i < 3; ++i) {
+    const std::size_t pos = static_cast<std::size_t>(Mix64(r + i) % n);
+    (*data)[pos] ^= static_cast<std::byte>(0xA5);
+  }
+}
+
+std::size_t TruncatedSize(std::size_t size, std::uint64_t r) {
+  assert(size > 0);
+  return static_cast<std::size_t>(Mix64(r) % size);
+}
+
+}  // namespace pam

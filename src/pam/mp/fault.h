@@ -1,0 +1,158 @@
+#ifndef PAM_MP_FAULT_H_
+#define PAM_MP_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pam {
+
+/// Transport fault kinds the communicator can inject on a send attempt.
+/// The paper's substrate (MPI on a Cray T3E / IBM SP2) is assumed
+/// lossless; this taxonomy covers the ways a real transport breaks that
+/// assumption, and each kind maps to the envelope-framing mechanism that
+/// detects or repairs it (see DESIGN.md "Fault model").
+enum class FaultKind {
+  kNone = 0,
+  kCorrupt,    // payload bytes flipped; caught by the envelope checksum
+  kTruncate,   // payload shortened; caught by the length header
+  kDuplicate,  // envelope delivered twice; filtered by the sequence number
+  kDrop,       // envelope never delivered; repaired by sender retransmit
+  kReorder,    // envelope jumps the mailbox queue; repaired by resequencing
+  kStall,      // delivery delayed by stall_ticks_ms (timing only)
+};
+
+/// Short display name ("corrupt", "drop", ...).
+const char* FaultKindName(FaultKind kind);
+
+/// Why a communicator operation failed.
+enum class CommErrorKind {
+  /// No intact copy of an expected message arrived before the receive
+  /// deadline (the message was lost: every delivery attempt was dropped,
+  /// corrupted, or truncated and the retransmit budget ran out).
+  kTimeout,
+  /// Another rank failed first and the runtime aborted the world; this
+  /// rank was woken out of a blocking receive mid-wait.
+  kAborted,
+};
+
+const char* CommErrorKindName(CommErrorKind kind);
+
+/// Structured transport failure: which rank, waiting on which peer and
+/// tag, failed in which way. Thrown by Comm receive paths (including the
+/// collectives built on them) and propagated out of Runtime::Run; a
+/// mining run under fault injection therefore either completes with
+/// exact results or terminates with one of these — never with silently
+/// wrong counts.
+class CommError : public std::runtime_error {
+ public:
+  CommError(CommErrorKind kind, int rank, int peer, int tag,
+            const std::string& detail);
+
+  CommErrorKind kind() const { return kind_; }
+  /// Comm rank of the failing endpoint.
+  int rank() const { return rank_; }
+  /// Comm rank of the peer being waited on (-1 = any source).
+  int peer() const { return peer_; }
+  int tag() const { return tag_; }
+
+ private:
+  CommErrorKind kind_;
+  int rank_;
+  int peer_;
+  int tag_;
+};
+
+/// Knobs of the seed-driven fault schedule. All probabilities are
+/// per-delivery-attempt; the kinds are mutually exclusive per attempt
+/// (their probabilities are consumed cumulatively, so the sum must be
+/// <= 1).
+struct FaultConfig {
+  /// Master switch. When false the communicator takes the zero-overhead
+  /// path: no schedule consultation, no receive deadlines.
+  bool enabled = false;
+  /// Seed of the deterministic schedule. Two runs with the same seed,
+  /// configuration, and program inject byte-identical faults.
+  std::uint64_t seed = 0;
+
+  double corrupt_prob = 0.0;
+  double truncate_prob = 0.0;
+  double duplicate_prob = 0.0;
+  double drop_prob = 0.0;
+  double reorder_prob = 0.0;
+  double stall_prob = 0.0;
+
+  /// Sleep per injected stall, in milliseconds.
+  int stall_ticks_ms = 1;
+  /// Retransmit budget per message: after a corrupting/truncating/dropping
+  /// attempt, the sender re-attempts delivery up to this many extra times
+  /// (each retry is itself subject to the schedule). 0 = no retries, so
+  /// any such fault loses the message.
+  int max_retries = 3;
+  /// Receive deadline while fault injection is enabled; a blocking receive
+  /// that exceeds it throws CommError(kTimeout). Ignored when disabled
+  /// (receives block forever, as the lossless substrate warrants).
+  int recv_timeout_ms = 5000;
+
+  /// A config injecting only `kind` at probability `prob`.
+  static FaultConfig Uniform(FaultKind kind, double prob, std::uint64_t seed,
+                             int max_retries = 3);
+  /// A config spreading `total_prob` evenly over all six fault kinds.
+  static FaultConfig Mixed(double total_prob, std::uint64_t seed,
+                           int max_retries = 3);
+};
+
+/// Deterministic per-message fault schedule. The fault for a delivery
+/// attempt is a pure function of (seed, src, dst, tag, seq, attempt) —
+/// independent of thread interleaving — so a chaos run is reproducible
+/// from its seed alone and a failing matrix cell can be replayed exactly.
+class FaultPlan {
+ public:
+  /// Disabled plan (the default for every Runtime).
+  FaultPlan() = default;
+  explicit FaultPlan(const FaultConfig& config) : config_(config) {}
+
+  bool enabled() const { return config_.enabled; }
+  const FaultConfig& config() const { return config_; }
+
+  /// The fault to inject on this delivery attempt (kNone = deliver intact).
+  FaultKind Decide(int src_world, int dst_world, int tag, std::uint64_t seq,
+                   int attempt) const;
+
+  /// Auxiliary deterministic randomness for shaping an injected fault
+  /// (which bytes to flip, how far to truncate), keyed like Decide plus a
+  /// salt so it does not correlate with the kind decision.
+  std::uint64_t Derive(int src_world, int dst_world, int tag,
+                       std::uint64_t seq, int attempt,
+                       std::uint64_t salt) const;
+
+ private:
+  FaultConfig config_;
+};
+
+/// Flips a few payload bytes in place, positions derived from `r`.
+/// No-op on an empty payload (the caller substitutes a drop).
+void CorruptBytes(std::vector<std::byte>* data, std::uint64_t r);
+
+/// A truncated length strictly smaller than `size` (size must be > 0).
+std::size_t TruncatedSize(std::size_t size, std::uint64_t r);
+
+/// Per-world-rank counters of fault activity, exposed through
+/// Comm::MyFaultStats() and threaded into PassMetrics by the parallel
+/// drivers so bench_robustness can report recovery overhead.
+struct CommFaultStats {
+  /// Faults the schedule applied to this rank's sends.
+  std::uint64_t injected = 0;
+  /// Extra delivery attempts this rank's sends made.
+  std::uint64_t retries = 0;
+  /// Bad envelopes (corrupt, truncated, duplicate) this rank's receives
+  /// detected and discarded.
+  std::uint64_t detected = 0;
+};
+
+}  // namespace pam
+
+#endif  // PAM_MP_FAULT_H_

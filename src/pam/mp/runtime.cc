@@ -1,6 +1,8 @@
 #include "pam/mp/runtime.h"
 
 #include <cassert>
+#include <exception>
+#include <mutex>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -13,19 +15,40 @@ Runtime::Runtime(int num_ranks)
   assert(num_ranks >= 1);
 }
 
+void Runtime::SetFaultConfig(const FaultConfig& config) {
+  world_->fault_plan = FaultPlan(config);
+}
+
 void Runtime::Run(const std::function<void(Comm&)>& rank_main) {
   std::vector<int> members(static_cast<std::size_t>(num_ranks_));
   std::iota(members.begin(), members.end(), 0);
+  world_->ResetAbort();
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(num_ranks_));
   for (int r = 0; r < num_ranks_; ++r) {
-    threads.emplace_back([this, &rank_main, &members, r] {
+    threads.emplace_back([this, &rank_main, &members, &error_mu,
+                          &first_error, r] {
       Comm comm(world_, /*comm_id=*/1, members, r);
-      rank_main(comm);
+      try {
+        rank_main(comm);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Wake every rank blocked in a receive so the join below cannot
+        // deadlock; they unwind with CommError{kAborted}, which loses the
+        // race for first_error and is discarded.
+        world_->Abort();
+      }
     });
   }
   for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 std::uint64_t Runtime::TotalBytesSent() const {
@@ -37,6 +60,17 @@ std::uint64_t Runtime::TotalBytesSent() const {
 std::uint64_t Runtime::TotalMessagesSent() const {
   std::uint64_t total = 0;
   for (const auto& m : world_->messages_sent) total += m.load();
+  return total;
+}
+
+CommFaultStats Runtime::TotalFaultStats() const {
+  CommFaultStats total;
+  for (int r = 0; r < num_ranks_; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    total.injected += world_->faults_injected[i].load();
+    total.retries += world_->send_retries[i].load();
+    total.detected += world_->mailboxes[i].DiscardedCount();
+  }
   return total;
 }
 

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "pam/mp/comm.h"
+#include "pam/mp/fault.h"
 
 namespace pam {
 
@@ -24,14 +25,28 @@ class Runtime {
 
   int num_ranks() const { return num_ranks_; }
 
+  /// Installs a fault-injection plan consulted by every Comm of this
+  /// runtime. Call before Run(); a default-constructed/disabled config
+  /// restores the zero-overhead lossless path.
+  void SetFaultConfig(const FaultConfig& config);
+
   /// Runs `rank_main` on every rank. May be called multiple times; traffic
   /// counters accumulate across calls.
+  ///
+  /// If a rank throws (e.g. a CommError under fault injection), the world
+  /// is aborted: every other rank blocked in a receive is woken with
+  /// CommError{kAborted}, all threads are joined, and the *first* thrown
+  /// exception is rethrown here — no deadlocked join, no partial result.
+  /// After an aborted Run the mailboxes may hold residual messages; use a
+  /// fresh Runtime for subsequent runs.
   void Run(const std::function<void(Comm&)>& rank_main);
 
   /// Total bytes sent by all ranks across all Run() calls so far.
   std::uint64_t TotalBytesSent() const;
   /// Total messages sent by all ranks across all Run() calls so far.
   std::uint64_t TotalMessagesSent() const;
+  /// Aggregate fault activity across all ranks and Run() calls.
+  CommFaultStats TotalFaultStats() const;
 
  private:
   int num_ranks_;

@@ -27,8 +27,10 @@ RankOutput RunCdRank(const TransactionDatabase& db, Comm& comm,
     WallTimer timer;
     PassMetrics m;
     m.grid_cols = comm.size();
+    const CommFaultStats faults_at_start = comm.MyFaultStats();
     ItemsetCollection f1 = ParallelPass1(db, slice, comm, minsup, &m,
                                          &config, &dhp_buckets);
+    parallel_internal::RecordFaultDelta(comm, faults_at_start, &m);
     m.wall_seconds = timer.Seconds();
     out.passes.push_back(m);
     out.frequent.levels.push_back(std::move(f1));
@@ -43,6 +45,7 @@ RankOutput RunCdRank(const TransactionDatabase& db, Comm& comm,
     m.k = k;
     m.local_db_wire_bytes = db.WireBytes(slice);
     m.grid_cols = comm.size();
+    const CommFaultStats faults_at_start = comm.MyFaultStats();
 
     ItemsetCollection candidates =
         parallel_internal::GenerateCandidates(prev, k, dhp_buckets, minsup);
@@ -89,6 +92,7 @@ RankOutput RunCdRank(const TransactionDatabase& db, Comm& comm,
     candidates.counts() = std::move(counts);
     candidates.PruneBelow(minsup);
     m.num_frequent_global = candidates.size();
+    parallel_internal::RecordFaultDelta(comm, faults_at_start, &m);
     m.wall_seconds = timer.Seconds();
     out.passes.push_back(m);
     if (candidates.empty()) break;

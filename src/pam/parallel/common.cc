@@ -166,5 +166,14 @@ int ChooseGridRows(std::size_t num_candidates, std::size_t threshold_m,
   return num_ranks;
 }
 
+void RecordFaultDelta(const Comm& comm, const CommFaultStats& start,
+                      PassMetrics* metrics) {
+  if (metrics == nullptr) return;
+  const CommFaultStats now = comm.MyFaultStats();
+  metrics->comm_faults_injected += now.injected - start.injected;
+  metrics->comm_retries += now.retries - start.retries;
+  metrics->comm_faults_detected += now.detected - start.detected;
+}
+
 }  // namespace parallel_internal
 }  // namespace pam

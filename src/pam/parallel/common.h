@@ -43,6 +43,12 @@ struct ParallelConfig {
   /// feeds the ring; the other ranks hold no local transactions. Only
   /// honored by the IDD formulation.
   bool single_source = false;
+  /// Transport fault injection (disabled by default). When enabled, the
+  /// driver installs this schedule into the runtime: every send of every
+  /// formulation runs under it, recoverable faults are repaired by the
+  /// communicator (and counted in PassMetrics), and unrecoverable ones
+  /// make MineParallel throw CommError instead of returning bad counts.
+  FaultConfig fault;
 };
 
 /// Message tags used by the algorithm implementations (all below the
@@ -110,6 +116,11 @@ std::uint64_t RingShiftAll(
 /// >= ceil(M / m) (capped at P).
 int ChooseGridRows(std::size_t num_candidates, std::size_t threshold_m,
                    int num_ranks);
+
+/// Adds the fault activity since `start` (a snapshot of
+/// comm.MyFaultStats() taken at pass start) to this pass's metrics.
+void RecordFaultDelta(const Comm& comm, const CommFaultStats& start,
+                      PassMetrics* metrics);
 
 }  // namespace parallel_internal
 }  // namespace pam

@@ -31,6 +31,7 @@ ParallelResult MineParallel(Algorithm algorithm,
                             const ParallelConfig& config) {
   WallTimer timer;
   Runtime runtime(num_ranks);
+  runtime.SetFaultConfig(config.fault);
   std::vector<RankOutput> outputs(static_cast<std::size_t>(num_ranks));
 
   runtime.Run([&](Comm& comm) {

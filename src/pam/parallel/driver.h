@@ -21,7 +21,11 @@ struct ParallelResult {
 
 /// Runs `algorithm` with `num_ranks` logical processors over `db`.
 /// Deterministic: identical inputs produce identical frequent itemsets and
-/// work counters on every invocation, for any rank count.
+/// work counters on every invocation, for any rank count. When
+/// `config.fault` is enabled, the run executes under the transport fault
+/// schedule: it either completes with the exact same frequent itemsets
+/// (recoverable faults are repaired by the communicator) or throws a
+/// CommError — never returns silently wrong counts.
 ParallelResult MineParallel(Algorithm algorithm,
                             const TransactionDatabase& db, int num_ranks,
                             const ParallelConfig& config);

@@ -28,8 +28,10 @@ RankOutput RunHdRank(const TransactionDatabase& db, Comm& comm,
   {
     WallTimer timer;
     PassMetrics m;
+    const CommFaultStats faults_at_start = comm.MyFaultStats();
     ItemsetCollection f1 = ParallelPass1(db, slice, comm, minsup, &m,
                                          &config, &dhp_buckets);
+    parallel_internal::RecordFaultDelta(comm, faults_at_start, &m);
     m.wall_seconds = timer.Seconds();
     out.passes.push_back(m);
     out.frequent.levels.push_back(std::move(f1));
@@ -43,6 +45,7 @@ RankOutput RunHdRank(const TransactionDatabase& db, Comm& comm,
     PassMetrics m;
     m.k = k;
     m.local_db_wire_bytes = db.WireBytes(slice);
+    const CommFaultStats faults_at_start = comm.MyFaultStats();
 
     ItemsetCollection candidates =
         parallel_internal::GenerateCandidates(prev, k, dhp_buckets, minsup);
@@ -130,6 +133,7 @@ RankOutput RunHdRank(const TransactionDatabase& db, Comm& comm,
     ItemsetCollection frequent =
         ExchangeFrequent(col_comm, local_frequent, &m.broadcast_words);
     m.num_frequent_global = frequent.size();
+    parallel_internal::RecordFaultDelta(comm, faults_at_start, &m);
     m.wall_seconds = timer.Seconds();
     out.passes.push_back(m);
     if (frequent.empty()) break;

@@ -33,8 +33,10 @@ RankOutput RunIddRank(const TransactionDatabase& db, Comm& comm,
   {
     WallTimer timer;
     PassMetrics m;
+    const CommFaultStats faults_at_start = comm.MyFaultStats();
     ItemsetCollection f1 = ParallelPass1(db, slice, comm, minsup, &m,
                                          &config, &dhp_buckets);
+    parallel_internal::RecordFaultDelta(comm, faults_at_start, &m);
     m.wall_seconds = timer.Seconds();
     out.passes.push_back(m);
     out.frequent.levels.push_back(std::move(f1));
@@ -49,6 +51,7 @@ RankOutput RunIddRank(const TransactionDatabase& db, Comm& comm,
     m.k = k;
     m.local_db_wire_bytes = db.WireBytes(slice);
     m.grid_rows = p;
+    const CommFaultStats faults_at_start = comm.MyFaultStats();
 
     // Regenerate C_k locally, then keep only the bin-packed share; the
     // paper's implementation likewise computes the first-item histogram,
@@ -89,6 +92,7 @@ RankOutput RunIddRank(const TransactionDatabase& db, Comm& comm,
     ItemsetCollection frequent =
         ExchangeFrequent(comm, local_frequent, &m.broadcast_words);
     m.num_frequent_global = frequent.size();
+    parallel_internal::RecordFaultDelta(comm, faults_at_start, &m);
     m.wall_seconds = timer.Seconds();
     out.passes.push_back(m);
     if (frequent.empty()) break;

@@ -39,6 +39,30 @@ std::uint64_t RunMetrics::TotalTransactionsProcessed(int pass_index) const {
   return total;
 }
 
+std::uint64_t RunMetrics::TotalFaultsInjected() const {
+  std::uint64_t total = 0;
+  for (const auto& pass : per_pass) {
+    for (const PassMetrics& m : pass) total += m.comm_faults_injected;
+  }
+  return total;
+}
+
+std::uint64_t RunMetrics::TotalCommRetries() const {
+  std::uint64_t total = 0;
+  for (const auto& pass : per_pass) {
+    for (const PassMetrics& m : pass) total += m.comm_retries;
+  }
+  return total;
+}
+
+std::uint64_t RunMetrics::TotalFaultsDetected() const {
+  std::uint64_t total = 0;
+  for (const auto& pass : per_pass) {
+    for (const PassMetrics& m : pass) total += m.comm_faults_detected;
+  }
+  return total;
+}
+
 SubsetStats RunMetrics::PassSubsetStats(int pass_index) const {
   SubsetStats out;
   for (const PassMetrics& m :

@@ -53,6 +53,14 @@ struct PassMetrics {
   /// finite I/O rate (Figure 12's SP2 runs).
   std::uint64_t local_db_wire_bytes = 0;
 
+  /// Transport fault activity this pass (non-zero only under fault
+  /// injection): faults the schedule applied to this rank's sends, extra
+  /// delivery attempts, and bad envelopes this rank's receives discarded.
+  /// bench_robustness reports these as recovery overhead.
+  std::uint64_t comm_faults_injected = 0;
+  std::uint64_t comm_retries = 0;
+  std::uint64_t comm_faults_detected = 0;
+
   /// HD grid configuration used this pass (rows = G); 1x1 for serial-like
   /// settings, 1xP for CD, Px1 for IDD.
   int grid_rows = 1;
@@ -80,6 +88,11 @@ struct RunMetrics {
   std::uint64_t TotalDataBytes(int pass_index) const;
   std::uint64_t TotalLeafVisits(int pass_index) const;
   std::uint64_t TotalTransactionsProcessed(int pass_index) const;
+
+  /// Aggregate transport fault activity over every pass and rank.
+  std::uint64_t TotalFaultsInjected() const;
+  std::uint64_t TotalCommRetries() const;
+  std::uint64_t TotalFaultsDetected() const;
 
   /// Aggregated subset stats across all ranks of one pass.
   SubsetStats PassSubsetStats(int pass_index) const;

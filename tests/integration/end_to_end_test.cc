@@ -9,6 +9,7 @@
 #include "pam/model/cost_model.h"
 #include "pam/parallel/driver.h"
 #include "pam/tdb/io.h"
+#include "testing/test_support.h"
 
 namespace pam {
 namespace {
@@ -39,6 +40,8 @@ TEST(EndToEndTest, GenerateStoreMineRules) {
   cfg.hd_threshold_m = 200;
   ParallelResult result = MineParallel(Algorithm::kHD, db, 6, cfg);
   ASSERT_GT(result.frequent.TotalCount(), 0u);
+  testing::ExpectMatchesSerial(
+      result, testing::SerialReference(db, cfg.apriori), "HD P=6 e2e");
 
   // Rules from the parallel-mined frequent sets.
   std::vector<Rule> rules = GenerateRules(result.frequent, db.size(), 0.5);

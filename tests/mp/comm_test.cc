@@ -302,5 +302,283 @@ TEST(CommTest, RandomizedMessageStorm) {
   });
 }
 
+TEST(CommTest, ZeroByteMessageDelivers) {
+  // Empty payloads are real messages (HPA uses them as end-of-stream
+  // markers); framing must pass them through intact.
+  Runtime rt(2);
+  rt.Run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.Send(1, 6, std::span<const std::byte>());
+      comm.SendVec<std::uint32_t>(1, 6, {1});
+    } else {
+      EXPECT_TRUE(comm.Recv(0, 6).empty());
+      EXPECT_EQ(comm.RecvVec<std::uint32_t>(0, 6)[0], 1u);  // FIFO kept
+    }
+  });
+}
+
+TEST(CommTest, SelfSendDelivers) {
+  Runtime rt(3);
+  rt.Run([](Comm& comm) {
+    comm.SendVec<std::uint32_t>(comm.rank(), 8,
+                                {static_cast<std::uint32_t>(comm.rank())});
+    std::vector<std::byte> data;
+    EXPECT_TRUE(comm.TryRecv(comm.rank(), 8, &data));
+    EXPECT_EQ(*reinterpret_cast<const std::uint32_t*>(data.data()),
+              static_cast<std::uint32_t>(comm.rank()));
+    // And via blocking receive.
+    comm.SendVec<std::uint32_t>(comm.rank(), 8, {99});
+    EXPECT_EQ(comm.RecvVec<std::uint32_t>(comm.rank(), 8)[0], 99u);
+  });
+}
+
+TEST(CommTest, InterleavedTagsFromSameSourceStayFifoPerTag) {
+  // One source interleaves many sends across three tags; each tag's
+  // stream must come out FIFO no matter the order the receiver drains
+  // them in.
+  Runtime rt(2);
+  rt.Run([](Comm& comm) {
+    const int n = 60;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < n; ++i) {
+        comm.SendVec<std::uint32_t>(1, 100 + i % 3,
+                                    {static_cast<std::uint32_t>(i)});
+      }
+    } else {
+      // Drain tag 102 fully, then 100, then 101.
+      for (int tag : {102, 100, 101}) {
+        for (int i = tag - 100; i < n; i += 3) {
+          EXPECT_EQ(comm.RecvVec<std::uint32_t>(0, tag)[0],
+                    static_cast<std::uint32_t>(i))
+              << "tag " << tag;
+        }
+      }
+    }
+  });
+}
+
+TEST(CommTest, SubCommPointToPointIsolation) {
+  // Same endpoints, same tag, two different sub-communicators: traffic on
+  // one must be invisible on the other (streams are keyed by comm id).
+  Runtime rt(2);
+  rt.Run([](Comm& comm) {
+    Comm a = comm.Sub({0, 1}, /*label=*/10);
+    Comm b = comm.Sub({0, 1}, /*label=*/20);
+    if (comm.rank() == 0) {
+      a.SendVec<std::uint32_t>(1, 5, {111});
+      b.SendVec<std::uint32_t>(1, 5, {222});
+    } else {
+      std::vector<std::byte> data;
+      // b's message must not satisfy a receive on... a's stream has its
+      // own message here, so check cross-delivery by draining b first.
+      EXPECT_EQ(b.RecvVec<std::uint32_t>(0, 5)[0], 222u);
+      EXPECT_EQ(a.RecvVec<std::uint32_t>(0, 5)[0], 111u);
+      EXPECT_FALSE(a.TryRecv(0, 5, &data));
+      EXPECT_FALSE(b.TryRecv(0, 5, &data));
+    }
+  });
+}
+
+// ---- Fault injection unit tests -----------------------------------------
+
+TEST(CommFaultTest, CorruptionRepairedByRetransmit) {
+  // Half of all delivery attempts corrupt the payload; with a retransmit
+  // budget every message still arrives intact and in order.
+  Runtime rt(2);
+  FaultConfig fc = FaultConfig::Uniform(FaultKind::kCorrupt, 0.5,
+                                        /*seed=*/5, /*max_retries=*/16);
+  fc.recv_timeout_ms = 5000;
+  rt.SetFaultConfig(fc);
+  rt.Run([](Comm& comm) {
+    const int n = 100;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < n; ++i) {
+        comm.SendVec<std::uint32_t>(1, 3, {static_cast<std::uint32_t>(i), 7u});
+      }
+    } else {
+      for (int i = 0; i < n; ++i) {
+        std::vector<std::uint32_t> got = comm.RecvVec<std::uint32_t>(0, 3);
+        ASSERT_EQ(got.size(), 2u);
+        EXPECT_EQ(got[0], static_cast<std::uint32_t>(i));
+        EXPECT_EQ(got[1], 7u);
+      }
+    }
+  });
+  const CommFaultStats stats = rt.TotalFaultStats();
+  EXPECT_GT(stats.injected, 0u);
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_GT(stats.detected, 0u);  // receiver discarded the corrupt copies
+}
+
+TEST(CommFaultTest, DuplicatesFilteredBySequenceNumber) {
+  Runtime rt(2);
+  rt.SetFaultConfig(FaultConfig::Uniform(FaultKind::kDuplicate, 1.0,
+                                         /*seed=*/6, /*max_retries=*/0));
+  rt.Run([](Comm& comm) {
+    const int n = 50;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < n; ++i) {
+        comm.SendVec<std::uint32_t>(1, 4, {static_cast<std::uint32_t>(i)});
+      }
+    } else {
+      for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(comm.RecvVec<std::uint32_t>(0, 4)[0],
+                  static_cast<std::uint32_t>(i));
+      }
+      // The duplicate copies must not linger as phantom messages.
+      std::vector<std::byte> data;
+      EXPECT_FALSE(comm.TryRecv(0, 4, &data));
+    }
+  });
+  EXPECT_EQ(rt.TotalFaultStats().injected, 50u);
+  EXPECT_GT(rt.TotalFaultStats().detected, 0u);
+}
+
+TEST(CommFaultTest, ReorderRepairedByResequencing) {
+  // Every envelope jumps the queue, yet the receiver still sees the
+  // stream in sequence order.
+  Runtime rt(2);
+  rt.SetFaultConfig(FaultConfig::Uniform(FaultKind::kReorder, 1.0,
+                                         /*seed=*/8, /*max_retries=*/0));
+  rt.Run([](Comm& comm) {
+    const int n = 50;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < n; ++i) {
+        comm.SendVec<std::uint32_t>(1, 2, {static_cast<std::uint32_t>(i)});
+      }
+    } else {
+      comm.Barrier();  // let all sends land so the queue is truly scrambled
+      for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(comm.RecvVec<std::uint32_t>(0, 2)[0],
+                  static_cast<std::uint32_t>(i));
+      }
+    }
+    if (comm.rank() == 0) comm.Barrier();
+  });
+}
+
+TEST(CommFaultTest, ExhaustedRetransmitBudgetTimesOut) {
+  // Certain drop with no retries: the message is lost and the receiver's
+  // deadline turns the loss into a structured, attributed error.
+  Runtime rt(2);
+  FaultConfig fc = FaultConfig::Uniform(FaultKind::kDrop, 1.0, /*seed=*/9,
+                                        /*max_retries=*/0);
+  fc.recv_timeout_ms = 100;
+  rt.SetFaultConfig(fc);
+  try {
+    rt.Run([](Comm& comm) {
+      if (comm.rank() == 0) {
+        comm.SendVec<std::uint32_t>(1, 5, {1});
+      } else {
+        comm.RecvVec<std::uint32_t>(0, 5);
+      }
+    });
+    FAIL() << "lost message did not surface as CommError";
+  } catch (const CommError& e) {
+    EXPECT_EQ(e.kind(), CommErrorKind::kTimeout);
+    EXPECT_EQ(e.rank(), 1);
+    EXPECT_EQ(e.peer(), 0);
+    EXPECT_EQ(e.tag(), 5);
+  }
+}
+
+TEST(CommFaultTest, EmptyPayloadCorruptionBecomesDrop) {
+  // A zero-byte payload cannot be corrupted or truncated; the schedule
+  // substitutes a drop, which here (no retries) loses the marker.
+  Runtime rt(2);
+  FaultConfig fc = FaultConfig::Uniform(FaultKind::kCorrupt, 1.0,
+                                        /*seed=*/3, /*max_retries=*/0);
+  fc.recv_timeout_ms = 100;
+  rt.SetFaultConfig(fc);
+  EXPECT_THROW(rt.Run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.Send(1, 5, std::span<const std::byte>());
+    } else {
+      comm.Recv(0, 5);
+    }
+  }),
+               CommError);
+}
+
+TEST(CommFaultTest, TimeoutWithNoSenderAtAll) {
+  // Deadline applies to receives generally, not just faulted streams.
+  Runtime rt(2);
+  FaultConfig fc;
+  fc.enabled = true;  // all probabilities zero: no injection, just deadlines
+  fc.recv_timeout_ms = 100;
+  rt.SetFaultConfig(fc);
+  EXPECT_THROW(rt.Run([](Comm& comm) {
+    if (comm.rank() == 1) comm.Recv(0, 5);
+  }),
+               CommError);
+}
+
+TEST(CommFaultTest, StallDelaysButDelivers) {
+  Runtime rt(2);
+  FaultConfig fc = FaultConfig::Uniform(FaultKind::kStall, 1.0, /*seed=*/4,
+                                        /*max_retries=*/0);
+  fc.stall_ticks_ms = 1;
+  rt.SetFaultConfig(fc);
+  rt.Run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        comm.SendVec<std::uint32_t>(1, 7, {static_cast<std::uint32_t>(i)});
+      }
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(comm.RecvVec<std::uint32_t>(0, 7)[0],
+                  static_cast<std::uint32_t>(i));
+      }
+    }
+  });
+  EXPECT_EQ(rt.TotalFaultStats().injected, 10u);
+}
+
+TEST(CommFaultTest, CollectivesSurviveMixedFaults) {
+  // The collectives are built on the same point-to-point machinery, so a
+  // faulty transport under them must still yield exact reductions.
+  const int p = 4;
+  Runtime rt(p);
+  FaultConfig fc = FaultConfig::Mixed(0.3, /*seed=*/12, /*max_retries=*/16);
+  fc.recv_timeout_ms = 5000;
+  rt.SetFaultConfig(fc);
+  rt.Run([](Comm& comm) {
+    for (std::uint64_t round = 0; round < 20; ++round) {
+      std::vector<std::uint64_t> v = {round, static_cast<std::uint64_t>(
+                                                 comm.rank())};
+      comm.AllReduceSum(std::span<std::uint64_t>(v));
+      EXPECT_EQ(v[0], round * 4);
+      EXPECT_EQ(v[1], 6u);  // 0+1+2+3
+      comm.Barrier();
+    }
+  });
+  EXPECT_GT(rt.TotalFaultStats().injected, 0u);
+}
+
+TEST(CommFaultTest, TrafficCountersExcludeRetransmits) {
+  // Figure benches rely on exact logical traffic counts; retransmitted
+  // and duplicated copies must not inflate them.
+  auto run_once = [](const FaultConfig& fc) {
+    Runtime rt(2);
+    rt.SetFaultConfig(fc);
+    rt.Run([](Comm& comm) {
+      if (comm.rank() == 0) {
+        for (int i = 0; i < 20; ++i) {
+          comm.SendVec<std::uint32_t>(1, 1, {1, 2, 3});
+        }
+      } else {
+        for (int i = 0; i < 20; ++i) comm.RecvVec<std::uint32_t>(0, 1);
+      }
+    });
+    return std::pair<std::uint64_t, std::uint64_t>(rt.TotalBytesSent(),
+                                                   rt.TotalMessagesSent());
+  };
+  const auto clean = run_once(FaultConfig());
+  FaultConfig noisy = FaultConfig::Mixed(0.4, /*seed=*/2, /*max_retries=*/16);
+  noisy.recv_timeout_ms = 5000;
+  const auto faulty = run_once(noisy);
+  EXPECT_EQ(clean, faulty);
+}
+
 }  // namespace
 }  // namespace pam

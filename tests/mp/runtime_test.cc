@@ -105,5 +105,80 @@ TEST(RuntimeTest, IndependentRuntimesDoNotInterfere) {
   EXPECT_EQ(b.TotalBytesSent(), 4u);
 }
 
+TEST(RuntimeTest, RankExceptionPropagatesInsteadOfDeadlocking) {
+  // Rank 0 throws while rank 1 is parked in a blocking receive with no
+  // deadline. Run must abort the world (waking rank 1 out of the receive),
+  // join every thread, and rethrow rank 0's exception — the historical
+  // failure mode was a deadlocked join on rank 1.
+  Runtime rt(2);
+  try {
+    rt.Run([](Comm& comm) {
+      if (comm.rank() == 0) {
+        throw std::runtime_error("rank 0 failed");
+      }
+      comm.Recv(0, 1);  // never satisfied; woken by the abort
+    });
+    FAIL() << "Run returned despite a rank throwing";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "rank 0 failed");
+  }
+}
+
+TEST(RuntimeTest, FirstExceptionWinsWhenPeersUnwind) {
+  // The peers woken by the abort throw CommError{kAborted}; Run must still
+  // report the original failure, not a secondary abort error.
+  const int p = 4;
+  Runtime rt(p);
+  try {
+    rt.Run([](Comm& comm) {
+      if (comm.rank() == 2) {
+        throw std::logic_error("original");
+      }
+      comm.Recv((comm.rank() + 1) % comm.size(), 9);
+    });
+    FAIL() << "Run returned despite a rank throwing";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "original");
+  } catch (const CommError& e) {
+    FAIL() << "abort error shadowed the original exception: " << e.what();
+  }
+}
+
+TEST(RuntimeTest, FreshRuntimeUsableAfterAbortedRun) {
+  {
+    Runtime rt(2);
+    EXPECT_THROW(rt.Run([](Comm& comm) {
+      if (comm.rank() == 0) throw std::runtime_error("boom");
+      comm.Recv(0, 1);
+    }),
+                 std::runtime_error);
+  }
+  Runtime fresh(2);
+  fresh.Run([](Comm& comm) {
+    if (comm.rank() == 0) comm.SendVec<std::uint32_t>(1, 1, {5});
+    if (comm.rank() == 1) {
+      EXPECT_EQ(comm.RecvVec<std::uint32_t>(0, 1)[0], 5u);
+    }
+  });
+}
+
+TEST(RuntimeTest, SameRuntimeRecoversAcrossRuns) {
+  // Run resets the abort flag on entry, so a Runtime that aborted can host
+  // a later clean run (MineParallel constructs a fresh Runtime per call,
+  // but reuse must not silently poison receives with kAborted).
+  Runtime rt(2);
+  EXPECT_THROW(rt.Run([](Comm& comm) {
+    if (comm.rank() == 0) throw std::runtime_error("boom");
+    comm.Recv(0, 1);
+  }),
+               std::runtime_error);
+  rt.Run([](Comm& comm) {
+    if (comm.rank() == 0) comm.SendVec<std::uint32_t>(1, 1, {6});
+    if (comm.rank() == 1) {
+      EXPECT_EQ(comm.RecvVec<std::uint32_t>(0, 1)[0], 6u);
+    }
+  });
+}
+
 }  // namespace
 }  // namespace pam

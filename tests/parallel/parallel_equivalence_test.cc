@@ -1,37 +1,17 @@
-#include <map>
 #include <tuple>
 
 #include <gtest/gtest.h>
 
 #include "pam/core/serial_apriori.h"
-#include "pam/datagen/quest_gen.h"
 #include "pam/parallel/driver.h"
-#include "testing/random_db.h"
+#include "testing/test_support.h"
 
 namespace pam {
 namespace {
 
-std::map<std::vector<Item>, Count> Flatten(const FrequentItemsets& fi) {
-  std::map<std::vector<Item>, Count> out;
-  for (const auto& level : fi.levels) {
-    for (std::size_t i = 0; i < level.size(); ++i) {
-      ItemSpan s = level.Get(i);
-      out[std::vector<Item>(s.begin(), s.end())] = level.count(i);
-    }
-  }
-  return out;
-}
+using testing::Flatten;
 
-TransactionDatabase TestDb() {
-  QuestConfig q;
-  q.num_transactions = 600;
-  q.num_items = 80;
-  q.avg_transaction_len = 8;
-  q.avg_pattern_len = 3;
-  q.num_patterns = 40;
-  q.seed = 7;
-  return GenerateQuest(q);
-}
+TransactionDatabase TestDb() { return testing::SmallQuestDb(); }
 
 // The central correctness property of the reproduction: every parallel
 // formulation produces exactly the frequent itemsets (and counts) of the
