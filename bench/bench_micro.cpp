@@ -156,7 +156,7 @@ void BM_RingShift(benchmark::State& state) {
       std::uint64_t local = 0;
       parallel_internal::RingShiftAll(
           comm, pages,
-          [&local](const Page& page) { local += page.size(); }, nullptr);
+          [&local](PageView page) { local += page.size(); }, nullptr);
       total += local;
     });
     benchmark::DoNotOptimize(total.load());

@@ -33,14 +33,26 @@ run_chaos_sanitized() {
   ctest --preset sanitize -L chaos --timeout "$test_timeout"
 }
 
+# Smoke pass of the transport benchmark: exercises the zero-copy vs
+# copy-per-hop comparison end to end (including the cross-formulation
+# mining-equivalence check, which exits non-zero on any mismatch).
+run_bench_comm_smoke() {
+  echo "=== bench_comm smoke ==="
+  (cd build-release/bench && ./bench_comm --smoke)
+}
+
 case "${1:-all}" in
-  release) run_preset release ;;
+  release)
+    run_preset release
+    run_bench_comm_smoke
+    ;;
   sanitize)
     run_preset sanitize
     run_chaos_sanitized
     ;;
   all)
     run_preset release
+    run_bench_comm_smoke
     run_preset sanitize
     run_chaos_sanitized
     ;;

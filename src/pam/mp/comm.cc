@@ -10,20 +10,9 @@
 namespace pam {
 namespace internal_mp {
 
-std::uint64_t EnvelopeChecksum(std::span<const std::byte> data) {
-  std::uint64_t h = 14695981039346656037ULL;  // FNV-1a offset basis
-  for (std::byte b : data) {
-    h ^= static_cast<std::uint64_t>(b);
-    h *= 1099511628211ULL;  // FNV prime
-  }
-  return h;
-}
-
 bool EnvelopeIntact(const Envelope& envelope) {
-  return envelope.data.size() == envelope.declared_size &&
-         EnvelopeChecksum(std::span<const std::byte>(envelope.data.data(),
-                                                     envelope.data.size())) ==
-             envelope.checksum;
+  return envelope.payload.size() == envelope.declared_size &&
+         envelope.payload.checksum() == envelope.checksum;
 }
 
 void Mailbox::Put(Envelope envelope, bool front) {
@@ -164,9 +153,28 @@ constexpr int kReduceTag = kCollectiveBase + 2;
 constexpr int kGatherTag = kCollectiveBase + 4;
 constexpr int kBcastTag = kCollectiveBase + 6;
 
+std::span<const std::byte> WordsAsBytes(std::span<const std::uint64_t> s) {
+  return std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(s.data()),
+      s.size() * sizeof(std::uint64_t));
+}
+
 }  // namespace
 
-void Comm::Send(int dst, int tag, std::span<const std::byte> data) {
+Comm::Comm(std::shared_ptr<internal_mp::WorldState> world,
+           std::uint64_t comm_id, std::vector<int> members, int rank)
+    : world_(std::move(world)),
+      comm_id_(comm_id),
+      members_(std::move(members)),
+      world_to_comm_(static_cast<std::size_t>(world_->num_ranks), -1),
+      rank_(rank) {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    world_to_comm_[static_cast<std::size_t>(members_[i])] =
+        static_cast<int>(i);
+  }
+}
+
+void Comm::Send(int dst, int tag, Payload payload) {
   assert(dst >= 0 && dst < size());
   const int src_world = WorldRankOf(rank_);
   const int dst_world = WorldRankOf(dst);
@@ -178,26 +186,30 @@ void Comm::Send(int dst, int tag, std::span<const std::byte> data) {
   const std::uint64_t seq = seq_counter++;
   // Traffic counters record the logical payload once, whatever the fault
   // schedule does to its delivery — figure benches stay exact.
-  world_->bytes_sent[static_cast<std::size_t>(src_world)] += data.size();
+  world_->bytes_sent[static_cast<std::size_t>(src_world)] += payload.size();
   world_->messages_sent[static_cast<std::size_t>(src_world)] += 1;
   internal_mp::Mailbox& box =
       world_->mailboxes[static_cast<std::size_t>(dst_world)];
 
-  auto make_envelope = [&] {
+  // Header checksum of the *intact* payload: memoized inside the handle,
+  // so a forwarded payload never recomputes it.
+  const std::uint64_t checksum = payload.checksum();
+  const std::uint64_t declared_size = payload.size();
+  auto make_envelope = [&](Payload body) {
     internal_mp::Envelope env;
     env.comm_id = comm_id_;
     env.src_world = src_world;
     env.tag = tag;
     env.seq = seq;
-    env.declared_size = data.size();
-    env.checksum = internal_mp::EnvelopeChecksum(data);
-    env.data.assign(data.begin(), data.end());
+    env.declared_size = declared_size;
+    env.checksum = checksum;
+    env.payload = std::move(body);
     return env;
   };
 
   const FaultPlan& plan = world_->fault_plan;
   if (!plan.enabled()) {
-    box.Put(make_envelope());
+    box.Put(make_envelope(std::move(payload)));
     return;
   }
 
@@ -207,7 +219,7 @@ void Comm::Send(int dst, int tag, std::span<const std::byte> data) {
       world_->send_retries[static_cast<std::size_t>(src_world)] += 1;
     }
     FaultKind fault = plan.Decide(src_world, dst_world, tag, seq, attempt);
-    if (data.empty() &&
+    if (payload.empty() &&
         (fault == FaultKind::kCorrupt || fault == FaultKind::kTruncate)) {
       fault = FaultKind::kDrop;  // nothing to mutilate in an empty payload
     }
@@ -216,36 +228,42 @@ void Comm::Send(int dst, int tag, std::span<const std::byte> data) {
     }
     switch (fault) {
       case FaultKind::kNone:
-        box.Put(make_envelope());
+        box.Put(make_envelope(payload));
         return;
       case FaultKind::kCorrupt: {
-        internal_mp::Envelope env = make_envelope();
-        CorruptBytes(&env.data,
+        // Copy-on-write: clone the shared bytes only now that the fault
+        // actually fires, then mutilate the private clone. The clone's
+        // own (lazily computed) checksum will mismatch the header.
+        std::vector<std::byte> clone(payload.bytes().begin(),
+                                     payload.bytes().end());
+        CorruptBytes(&clone,
                      plan.Derive(src_world, dst_world, tag, seq, attempt, 1));
-        box.Put(std::move(env));
+        box.Put(make_envelope(Payload::Adopt(std::move(clone))));
         break;  // detected at the receiver; retransmit
       }
       case FaultKind::kTruncate: {
-        internal_mp::Envelope env = make_envelope();
-        env.data.resize(TruncatedSize(
-            env.data.size(),
+        std::vector<std::byte> clone(payload.bytes().begin(),
+                                     payload.bytes().end());
+        clone.resize(TruncatedSize(
+            clone.size(),
             plan.Derive(src_world, dst_world, tag, seq, attempt, 2)));
-        box.Put(std::move(env));
+        box.Put(make_envelope(Payload::Adopt(std::move(clone))));
         break;  // detected at the receiver; retransmit
       }
       case FaultKind::kDrop:
         break;  // never delivered; retransmit
       case FaultKind::kDuplicate:
-        box.Put(make_envelope());
-        box.Put(make_envelope());  // second copy filtered by seq
+        box.Put(make_envelope(payload));
+        box.Put(make_envelope(payload));  // second copy filtered by seq
         return;
       case FaultKind::kReorder:
-        box.Put(make_envelope(), /*front=*/true);  // resequenced at receiver
+        box.Put(make_envelope(payload),
+                /*front=*/true);  // resequenced at receiver
         return;
       case FaultKind::kStall:
         std::this_thread::sleep_for(
             std::chrono::milliseconds(plan.config().stall_ticks_ms));
-        box.Put(make_envelope());
+        box.Put(make_envelope(std::move(payload)));
         return;
     }
   }
@@ -268,7 +286,7 @@ void Comm::ThrowTakeFailure(internal_mp::Mailbox::TakeStatus status, int src,
                 ")");
 }
 
-std::vector<std::byte> Comm::Recv(int src, int tag, int* actual_src) {
+Payload Comm::RecvPayload(int src, int tag, int* actual_src) {
   const int src_world = src == -1 ? -1 : WorldRankOf(src);
   const int timeout_ms = world_->fault_plan.enabled()
                              ? world_->fault_plan.config().recv_timeout_ms
@@ -281,11 +299,11 @@ std::vector<std::byte> Comm::Recv(int src, int tag, int* actual_src) {
     ThrowTakeFailure(status, src, tag);
   }
   if (actual_src != nullptr) *actual_src = CommRankOfWorld(env.src_world);
-  return std::move(env.data);
+  return std::move(env.payload);
 }
 
-bool Comm::TryRecv(int src, int tag, std::vector<std::byte>* data,
-                   int* actual_src) {
+bool Comm::TryRecvPayload(int src, int tag, Payload* payload,
+                          int* actual_src) {
   const int src_world = src == -1 ? -1 : WorldRankOf(src);
   internal_mp::Envelope env;
   const auto status =
@@ -296,7 +314,7 @@ bool Comm::TryRecv(int src, int tag, std::vector<std::byte>* data,
   }
   if (status != internal_mp::Mailbox::TakeStatus::kOk) return false;
   if (actual_src != nullptr) *actual_src = CommRankOfWorld(env.src_world);
-  *data = std::move(env.data);
+  *payload = std::move(env.payload);
   return true;
 }
 
@@ -304,12 +322,24 @@ RecvRequest Comm::Irecv(int src, int tag) {
   RecvRequest req;
   req.src_ = src;
   req.tag_ = tag;
+  req.posted_ = true;
   return req;
+}
+
+bool Comm::Test(RecvRequest& request) {
+  if (request.done_) return true;
+  assert(request.posted_ && "Test on a request that was never posted");
+  Payload payload;
+  if (!TryRecvPayload(request.src_, request.tag_, &payload)) return false;
+  request.payload_ = std::move(payload);
+  request.done_ = true;
+  return true;
 }
 
 void Comm::Wait(RecvRequest& request) {
   if (request.done_) return;
-  request.data_ = Recv(request.src_, request.tag_);
+  assert(request.posted_ && "Wait on a request that was never posted");
+  request.payload_ = RecvPayload(request.src_, request.tag_);
   request.done_ = true;
 }
 
@@ -318,94 +348,174 @@ void Comm::Barrier() {
   const std::byte token{0};
   if (rank_ == 0) {
     for (int r = 1; r < size(); ++r) {
-      (void)Recv(r, kBarrierToken);
+      (void)RecvPayload(r, kBarrierToken);
     }
     for (int r = 1; r < size(); ++r) {
       Send(r, kBarrierRelease, std::span<const std::byte>(&token, 1));
     }
   } else {
     Send(0, kBarrierToken, std::span<const std::byte>(&token, 1));
-    (void)Recv(0, kBarrierRelease);
+    (void)RecvPayload(0, kBarrierRelease);
   }
 }
 
-void Comm::AllReduceSum(std::span<std::uint64_t> inout) {
-  const int p = size();
+namespace {
+
+using ReduceOp = void (*)(std::uint64_t*, const std::uint64_t*, std::size_t);
+
+void SumWords(std::uint64_t* inout, const std::uint64_t* other,
+              std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) inout[i] += other[i];
+}
+
+void MaxWords(std::uint64_t* inout, const std::uint64_t* other,
+              std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) inout[i] = std::max(inout[i], other[i]);
+}
+
+/// log2(P)-round all-reduce for any group size (the schedule the cost
+/// model charges for the paper's "global reduction"): the `rem = P -
+/// 2^floor(log2 P)` surplus ranks first fold their vectors into a
+/// neighbor, the remaining power-of-two core recursive-doubles, and the
+/// folded ranks receive the finished result back. Every exchanged blob is
+/// length-checked against the local vector before it is read — the wire
+/// size is never trusted.
+void AllReduceWith(Comm& comm, std::span<std::uint64_t> inout, ReduceOp op) {
+  const int p = comm.size();
   if (p == 1) return;
-  auto as_bytes = [](std::span<std::uint64_t> s) {
-    return std::span<const std::byte>(
-        reinterpret_cast<const std::byte*>(s.data()),
-        s.size() * sizeof(std::uint64_t));
+  const int rank = comm.rank();
+
+  auto accumulate = [&](const Payload& blob) {
+    assert(blob.size() == inout.size() * sizeof(std::uint64_t) &&
+           "reduction payload size mismatch");
+    op(inout.data(), reinterpret_cast<const std::uint64_t*>(blob.data()),
+       inout.size());
   };
 
-  // Recursive doubling when the group is a power of two: log2(P) exchange
-  // stages, each moving the whole vector — the schedule the cost model
-  // charges for the paper's "global reduction".
-  if ((p & (p - 1)) == 0) {
-    for (int mask = 1; mask < p; mask <<= 1) {
-      const int partner = rank_ ^ mask;
-      // Stagger send/recv by rank order to keep pairings unambiguous.
-      Send(partner, kReduceTag, as_bytes(inout));
-      std::vector<std::byte> raw = Recv(partner, kReduceTag);
-      assert(raw.size() == inout.size() * sizeof(std::uint64_t));
-      const auto* vals = reinterpret_cast<const std::uint64_t*>(raw.data());
-      for (std::size_t i = 0; i < inout.size(); ++i) inout[i] += vals[i];
-    }
-    return;
-  }
+  int pof2 = 1;
+  while (pof2 * 2 <= p) pof2 *= 2;
+  const int rem = p - pof2;
 
-  // General group sizes: gather to the group root, sum, broadcast back.
-  if (rank_ == 0) {
-    for (int r = 1; r < p; ++r) {
-      std::vector<std::byte> raw = Recv(r, kReduceTag);
-      assert(raw.size() == inout.size() * sizeof(std::uint64_t));
-      const auto* vals = reinterpret_cast<const std::uint64_t*>(raw.data());
-      for (std::size_t i = 0; i < inout.size(); ++i) inout[i] += vals[i];
-    }
-    for (int r = 1; r < p; ++r) {
-      Send(r, kBcastTag, as_bytes(inout));
+  // Fold the surplus: the first 2*rem ranks pair up (even absorbs odd) so
+  // exactly pof2 ranks carry partial sums into the doubling rounds.
+  int core_rank;  // rank within the power-of-two core, -1 if folded out
+  if (rank < 2 * rem) {
+    if (rank % 2 == 0) {
+      accumulate(comm.RecvPayload(rank + 1, kReduceTag));
+      core_rank = rank / 2;
+    } else {
+      comm.Send(rank - 1, kReduceTag, WordsAsBytes(inout));
+      core_rank = -1;
     }
   } else {
-    Send(0, kReduceTag, as_bytes(inout));
-    std::vector<std::byte> raw = Recv(0, kBcastTag);
-    std::memcpy(inout.data(), raw.data(), raw.size());
+    core_rank = rank - rem;
+  }
+
+  if (core_rank >= 0) {
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      const int partner_core = core_rank ^ mask;
+      const int partner =
+          partner_core < rem ? partner_core * 2 : partner_core + rem;
+      comm.Send(partner, kReduceTag, WordsAsBytes(inout));
+      accumulate(comm.RecvPayload(partner, kReduceTag));
+    }
+  }
+
+  // Unfold: hand the finished vector back to the folded-out odd ranks.
+  if (rank < 2 * rem) {
+    if (rank % 2 == 0) {
+      comm.Send(rank + 1, kReduceTag, WordsAsBytes(inout));
+    } else {
+      const Payload result = comm.RecvPayload(rank - 1, kReduceTag);
+      assert(result.size() == inout.size() * sizeof(std::uint64_t) &&
+             "reduction payload size mismatch");
+      std::memcpy(inout.data(), result.data(),
+                  inout.size() * sizeof(std::uint64_t));
+    }
   }
 }
 
-std::vector<std::vector<std::byte>> Comm::AllGather(
-    std::span<const std::byte> mine) {
+}  // namespace
+
+void Comm::AllReduceSum(std::span<std::uint64_t> inout) {
+  AllReduceWith(*this, inout, SumWords);
+}
+
+void Comm::AllReduceMax(std::span<std::uint64_t> inout) {
+  AllReduceWith(*this, inout, MaxWords);
+}
+
+std::vector<Payload> Comm::AllGatherPayload(Payload mine) {
   const int p = size();
-  std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(p));
-  out[static_cast<std::size_t>(rank_)].assign(mine.begin(), mine.end());
+  std::vector<Payload> out(static_cast<std::size_t>(p));
+  out[static_cast<std::size_t>(rank_)] = std::move(mine);
   if (p == 1) return out;
 
   // Ring all-gather (the paper's "all-to-all broadcast" from [9]): P-1
   // steps; at step s every rank forwards the block it received at step
-  // s-1 (starting from its own) to its right neighbor. Total traffic per
-  // rank equals the sum of all blocks, with no contention.
+  // s-1 (starting from its own) to its right neighbor. The forwarded
+  // block is the same payload handle every hop — no copies, no checksum
+  // recomputes. Total traffic per rank equals the sum of all blocks, with
+  // no contention.
   int incoming_owner = rank_;
   for (int step = 0; step < p - 1; ++step) {
-    const std::vector<std::byte>& to_send =
-        out[static_cast<std::size_t>(incoming_owner)];
     Isend(RightNeighbor(), kGatherTag,
-          std::span<const std::byte>(to_send.data(), to_send.size()));
+          out[static_cast<std::size_t>(incoming_owner)]);
     incoming_owner = (incoming_owner + p - 1) % p;
     out[static_cast<std::size_t>(incoming_owner)] =
-        Recv(LeftNeighbor(), kGatherTag);
+        RecvPayload(LeftNeighbor(), kGatherTag);
   }
   return out;
 }
 
+std::vector<std::vector<std::byte>> Comm::AllGather(
+    std::span<const std::byte> mine) {
+  std::vector<Payload> payloads = AllGatherPayload(Payload::Copy(mine));
+  std::vector<std::vector<std::byte>> out;
+  out.reserve(payloads.size());
+  for (const Payload& payload : payloads) {
+    out.emplace_back(payload.bytes().begin(), payload.bytes().end());
+  }
+  return out;
+}
+
+Payload Comm::BcastPayload(int root, Payload data) {
+  const int p = size();
+  if (p == 1) return data;
+
+  // Binomial tree rooted at `root` over virtual ranks vrank = (rank -
+  // root) mod P: a non-root receives once from the peer that clears its
+  // lowest set bit, then every holder forwards down the remaining bit
+  // positions. log2(P) depth, and interior nodes pass the received handle
+  // along unchanged.
+  const int vrank = (rank_ - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (vrank & mask) {
+      const int src = (vrank - mask + root) % p;
+      data = RecvPayload(src, kBcastTag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < p && (vrank & mask) == 0) {
+      const int dst = (vrank + mask + root) % p;
+      Isend(dst, kBcastTag, data);
+    }
+    mask >>= 1;
+  }
+  return data;
+}
+
 std::vector<std::byte> Comm::Bcast(int root,
                                    std::span<const std::byte> data) {
-  if (size() == 1) return std::vector<std::byte>(data.begin(), data.end());
-  if (rank_ == root) {
-    for (int r = 0; r < size(); ++r) {
-      if (r != root) Send(r, kBcastTag, data);
-    }
-    return std::vector<std::byte>(data.begin(), data.end());
-  }
-  return Recv(root, kBcastTag);
+  Payload payload =
+      rank_ == root ? Payload::Copy(data) : Payload();
+  payload = BcastPayload(root, std::move(payload));
+  return std::vector<std::byte>(payload.bytes().begin(),
+                                payload.bytes().end());
 }
 
 Comm Comm::Sub(const std::vector<int>& member_ranks,
@@ -427,13 +537,6 @@ Comm Comm::Sub(const std::vector<int>& member_ranks,
           (id << 6) + (id >> 2);
   }
   return Comm(world_, id, std::move(world_members), my_new_rank);
-}
-
-int Comm::CommRankOfWorld(int world_rank) const {
-  for (std::size_t i = 0; i < members_.size(); ++i) {
-    if (members_[i] == world_rank) return static_cast<int>(i);
-  }
-  return -1;
 }
 
 std::uint64_t Comm::MyBytesSent() const {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "pam/mp/fault.h"
+#include "pam/mp/payload.h"
 
 namespace pam {
 
@@ -22,21 +23,29 @@ namespace pam {
 /// the repository's stand-in for the MPI layer of the paper's Cray T3E /
 /// IBM SP2: point-to-point sends/receives (with the non-blocking
 /// Isend/Irecv/Waitall shapes used by the Figure 6 ring pipeline), global
-/// reduction, all-gather, broadcast, barriers, and sub-communicators for
+/// reductions, all-gather, broadcast, barriers, and sub-communicators for
 /// the HD processor grid's rows and columns.
 ///
-/// Sends are buffered (they deposit into the destination's mailbox and
-/// return), so programs cannot deadlock on finite communication buffers;
-/// the cost model charges DD's finite-buffer idling analytically instead.
-/// Message order is FIFO per (source, communicator, tag).
+/// Message bodies are refcounted immutable Payload handles: a send wraps
+/// raw bytes into a payload exactly once (or takes an existing handle),
+/// the in-process mailbox passes the handle, and the receiver exposes a
+/// read-only view. Forwarding a received message (ring pipeline, binomial
+/// broadcast, ring all-gather) re-sends the *same* handle — zero byte
+/// copies and zero checksum recomputes per hop. Sends are buffered (they
+/// deposit into the destination's mailbox and return), so programs cannot
+/// deadlock on finite communication buffers; the cost model charges DD's
+/// finite-buffer idling analytically instead. Message order is FIFO per
+/// (source, communicator, tag).
 ///
 /// Unlike the paper's substrate, this one does not assume the transport is
 /// perfect: every envelope carries a framing header (sequence number,
 /// length, payload checksum), receives deliver a stream's envelopes in
 /// sequence order after verifying integrity, and a deterministic
 /// fault-injection schedule (FaultPlan) can corrupt, truncate, duplicate,
-/// drop, reorder, or stall any delivery attempt. Recoverable faults are
-/// repaired transparently (bounded sender retransmit + receiver
+/// drop, reorder, or stall any delivery attempt. Mutilating faults are
+/// copy-on-write: the shared payload is cloned only when the fault
+/// actually fires, so the lossless fast path stays zero-copy. Recoverable
+/// faults are repaired transparently (bounded sender retransmit + receiver
 /// resequencing/dup-discard); unrecoverable ones surface as a structured
 /// CommError instead of silently wrong counts.
 
@@ -47,19 +56,21 @@ struct Envelope {
   int src_world = 0;
   int tag = 0;
   /// Framing header: position in the (comm_id, src, dst, tag) stream,
-  /// declared payload length, and FNV-1a checksum of the payload at send
+  /// declared payload length, and PayloadChecksum of the payload at send
   /// time. Duplicates and reorders are repaired from `seq`; corruption
   /// and truncation are detected from `declared_size`/`checksum`.
   std::uint64_t seq = 0;
   std::uint64_t declared_size = 0;
   std::uint64_t checksum = 0;
-  std::vector<std::byte> data;
+  /// Shared immutable body. Duplicated/forwarded envelopes alias the same
+  /// buffer; corrupt/truncate faults carry a private clone instead.
+  Payload payload;
 };
 
-/// FNV-1a 64-bit checksum of a payload.
-std::uint64_t EnvelopeChecksum(std::span<const std::byte> data);
-
-/// True if the envelope's payload matches its framing header.
+/// True if the envelope's payload matches its framing header. For intact
+/// envelopes this is a memo compare (the sender already computed the
+/// payload's checksum); only fault clones pay a recompute — which then
+/// mismatches the header.
 bool EnvelopeIntact(const Envelope& envelope);
 
 /// One rank's incoming message queue. Matching is by (comm_id, src, tag)
@@ -139,19 +150,27 @@ struct WorldState {
 
 }  // namespace internal_mp
 
-/// Handle for a pending non-blocking receive. Obtained from Comm::Irecv and
-/// completed by Comm::Wait.
+/// Handle for a pending non-blocking receive, obtained from Comm::Irecv.
+/// Poll it with Comm::Test or block in Comm::Wait; once done, the payload
+/// view is valid until the request is destroyed (the handle keeps the
+/// buffer alive — and can be forwarded with Comm::Send at zero cost).
 class RecvRequest {
  public:
-  /// The received payload; valid after Comm::Wait returned.
-  std::vector<std::byte>& data() { return data_; }
+  bool done() const { return done_; }
+
+  /// The received message body; valid once done() is true.
+  const Payload& payload() const { return payload_; }
+
+  /// Read-only byte view of the received message body.
+  std::span<const std::byte> data() const { return payload_.bytes(); }
 
  private:
   friend class Comm;
   int src_ = -1;
   int tag_ = 0;
+  bool posted_ = false;
   bool done_ = false;
-  std::vector<std::byte> data_;
+  Payload payload_;
 };
 
 /// A communicator: a rank's endpoint within a group of ranks. The world
@@ -164,31 +183,69 @@ class Comm {
 
   // ---- Point to point ------------------------------------------------
 
-  /// Blocking-buffered send of raw bytes to rank `dst` of this comm.
-  /// Consults the world's FaultPlan: recoverable injected faults trigger
-  /// bounded retransmits; an exhausted retransmit budget loses the
-  /// message (the receiver's deadline turns that into CommError).
-  void Send(int dst, int tag, std::span<const std::byte> data);
-  /// Receives a message from `src` (-1 = any member) with tag `tag`.
-  /// If `actual_src` is non-null it receives the sender's comm rank.
-  /// Throws CommError on receive deadline (fault injection enabled) or
-  /// world abort.
-  std::vector<std::byte> Recv(int src, int tag, int* actual_src = nullptr);
+  /// Blocking-buffered send of raw bytes to rank `dst` of this comm:
+  /// wraps the bytes into a pooled Payload (the one copy the transport
+  /// ever makes) and sends the handle. Consults the world's FaultPlan:
+  /// recoverable injected faults trigger bounded retransmits; an
+  /// exhausted retransmit budget loses the message (the receiver's
+  /// deadline turns that into CommError).
+  void Send(int dst, int tag, std::span<const std::byte> data) {
+    Send(dst, tag, Payload::Copy(data));
+  }
 
-  /// Non-blocking receive: returns true and fills `data` if a matching
+  /// Zero-copy send of an existing payload handle: no byte copy, and the
+  /// checksum memoized inside the handle is reused — forwarding a
+  /// received message costs O(1) regardless of its size.
+  void Send(int dst, int tag, Payload payload);
+
+  /// Receives a message from `src` (-1 = any member) with tag `tag` as a
+  /// shared payload handle (no copy out of the transport). If
+  /// `actual_src` is non-null it receives the sender's comm rank. Throws
+  /// CommError on receive deadline (fault injection enabled) or world
+  /// abort.
+  Payload RecvPayload(int src, int tag, int* actual_src = nullptr);
+
+  /// Recv convenience that copies the payload into an owned vector.
+  std::vector<std::byte> Recv(int src, int tag, int* actual_src = nullptr) {
+    const Payload payload = RecvPayload(src, tag, actual_src);
+    return std::vector<std::byte>(payload.bytes().begin(),
+                                  payload.bytes().end());
+  }
+
+  /// Non-blocking receive: returns true and fills `payload` if a matching
   /// message was already queued. DD uses this to process remote pages as
   /// they arrive while still generating its own sends. Throws CommError
   /// {kAborted} if the world is tearing down.
-  bool TryRecv(int src, int tag, std::vector<std::byte>* data,
-               int* actual_src = nullptr);
+  bool TryRecvPayload(int src, int tag, Payload* payload,
+                      int* actual_src = nullptr);
 
-  /// Non-blocking send (completes immediately; sends are buffered).
+  /// TryRecv convenience that copies the payload into an owned vector.
+  bool TryRecv(int src, int tag, std::vector<std::byte>* data,
+               int* actual_src = nullptr) {
+    Payload payload;
+    if (!TryRecvPayload(src, tag, &payload, actual_src)) return false;
+    data->assign(payload.bytes().begin(), payload.bytes().end());
+    return true;
+  }
+
+  /// Non-blocking sends (complete immediately; sends are buffered).
   void Isend(int dst, int tag, std::span<const std::byte> data) {
     Send(dst, tag, data);
   }
-  /// Posts a non-blocking receive; complete it with Wait().
+  void Isend(int dst, int tag, Payload payload) {
+    Send(dst, tag, std::move(payload));
+  }
+
+  /// Posts a non-blocking receive. The request is genuinely pending:
+  /// complete it with Wait(), or poll it with Test() to overlap delivery
+  /// with local work (the ring pipeline tests between counting batches).
   RecvRequest Irecv(int src, int tag);
-  /// Blocks until the request's message has been received into data().
+
+  /// Non-blocking completion probe: takes the message out of the mailbox
+  /// into the request if one is deliverable now. Returns done().
+  bool Test(RecvRequest& request);
+
+  /// Blocks until the request's message has been received into payload().
   void Wait(RecvRequest& request);
 
   /// Typed conveniences (trivially copyable element types only).
@@ -203,9 +260,9 @@ class Comm {
   template <typename T>
   std::vector<T> RecvVec(int src, int tag, int* actual_src = nullptr) {
     static_assert(std::is_trivially_copyable_v<T>);
-    std::vector<std::byte> raw = Recv(src, tag, actual_src);
-    std::vector<T> out(raw.size() / sizeof(T));
-    std::memcpy(out.data(), raw.data(), out.size() * sizeof(T));
+    const Payload payload = RecvPayload(src, tag, actual_src);
+    std::vector<T> out(payload.size() / sizeof(T));
+    std::memcpy(out.data(), payload.data(), out.size() * sizeof(T));
     return out;
   }
 
@@ -216,16 +273,31 @@ class Comm {
 
   /// Element-wise sum of `inout` across all members; every member ends up
   /// with the reduced array (the paper's "global reduction" used by CD and
-  /// by HD along grid rows).
+  /// by HD along grid rows). log2(P) exchange rounds for every group
+  /// size: non-powers-of-two fold the surplus ranks into the nearest
+  /// power of two first, then recursive-double.
   void AllReduceSum(std::span<std::uint64_t> inout);
 
-  /// Gathers each member's byte blob; every member receives all blobs
+  /// Element-wise max across all members, same schedule as AllReduceSum.
+  /// RingShiftAll negotiates its common round count with one of these.
+  void AllReduceMax(std::span<std::uint64_t> inout);
+
+  /// Gathers each member's payload; every member receives all payloads
   /// indexed by comm rank (the "all-to-all broadcast" used to exchange
-  /// frequent itemsets in DD/IDD and along HD grid columns).
+  /// frequent itemsets in DD/IDD and along HD grid columns). Ring
+  /// schedule; intermediate hops forward handles without copying.
+  std::vector<Payload> AllGatherPayload(Payload mine);
+
+  /// AllGather convenience over raw bytes, returning owned vectors.
   std::vector<std::vector<std::byte>> AllGather(
       std::span<const std::byte> mine);
 
-  /// Broadcasts `data` from `root` to all members; returns the data on all.
+  /// Broadcasts `data` from `root` to all members along a binomial tree
+  /// (log2(P) depth; interior nodes forward the received handle without
+  /// copying); returns the payload on all members.
+  Payload BcastPayload(int root, Payload data);
+
+  /// Bcast convenience over raw bytes, returning an owned vector.
   std::vector<std::byte> Bcast(int root, std::span<const std::byte> data);
 
   // ---- Topology --------------------------------------------------------
@@ -241,8 +313,9 @@ class Comm {
   int LeftNeighbor() const { return (rank_ + size() - 1) % size(); }
 
   /// Total bytes this world rank has sent so far (all comms). Counts
-  /// logical payload bytes only — injected duplicates/retransmits do not
-  /// inflate the traffic figures.
+  /// logical payload bytes only — zero-copy handle forwarding, injected
+  /// duplicates, and retransmits all record the full logical payload, so
+  /// the traffic figures are independent of the transport's internals.
   std::uint64_t MyBytesSent() const;
 
   /// Fault activity of this world rank so far (all comms): faults the
@@ -253,16 +326,16 @@ class Comm {
  private:
   friend class Runtime;
   Comm(std::shared_ptr<internal_mp::WorldState> world, std::uint64_t comm_id,
-       std::vector<int> members, int rank)
-      : world_(std::move(world)),
-        comm_id_(comm_id),
-        members_(std::move(members)),
-        rank_(rank) {}
+       std::vector<int> members, int rank);
 
   int WorldRankOf(int comm_rank) const {
     return members_[static_cast<std::size_t>(comm_rank)];
   }
-  int CommRankOfWorld(int world_rank) const;
+  /// O(1): precomputed inverse of members_ (built once in the
+  /// constructor; Recv consults it once per message).
+  int CommRankOfWorld(int world_rank) const {
+    return world_to_comm_[static_cast<std::size_t>(world_rank)];
+  }
 
   /// Throws the CommError for a failed take.
   [[noreturn]] void ThrowTakeFailure(internal_mp::Mailbox::TakeStatus status,
@@ -270,8 +343,9 @@ class Comm {
 
   std::shared_ptr<internal_mp::WorldState> world_;
   std::uint64_t comm_id_ = 0;
-  std::vector<int> members_;  // comm rank -> world rank
-  int rank_ = 0;              // my comm rank
+  std::vector<int> members_;        // comm rank -> world rank
+  std::vector<int> world_to_comm_;  // world rank -> comm rank (-1 if absent)
+  int rank_ = 0;                    // my comm rank
 };
 
 }  // namespace pam

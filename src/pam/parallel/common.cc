@@ -67,12 +67,15 @@ ItemsetCollection ExchangeFrequent(Comm& comm, const ItemsetCollection& sets,
                                    std::uint64_t* broadcast_words) {
   const std::vector<std::uint64_t> mine = sets.Serialize();
   if (broadcast_words != nullptr) *broadcast_words += mine.size();
-  auto blobs = comm.AllGather(std::span<const std::byte>(
-      reinterpret_cast<const std::byte*>(mine.data()),
-      mine.size() * sizeof(std::uint64_t)));
+  // Ring all-gather of payload handles: the serialized partitions are
+  // deserialized straight out of the shared transport buffers.
+  const std::vector<Payload> blobs =
+      comm.AllGatherPayload(Payload::Copy(std::span<const std::byte>(
+          reinterpret_cast<const std::byte*>(mine.data()),
+          mine.size() * sizeof(std::uint64_t))));
 
   ItemsetCollection merged(sets.k());
-  for (const auto& blob : blobs) {
+  for (const Payload& blob : blobs) {
     const auto* words = reinterpret_cast<const std::uint64_t*>(blob.data());
     const std::size_t num_words = blob.size() / sizeof(std::uint64_t);
     ItemsetCollection part =
@@ -99,56 +102,48 @@ ItemsetCollection FrequentSubset(const ItemsetCollection& candidates,
   return frequent;
 }
 
-std::uint64_t RingShiftAll(
-    Comm& comm, const std::vector<Page>& local_pages,
-    const std::function<void(const Page&)>& process,
-    std::uint64_t* messages_sent) {
+std::uint64_t RingShiftAll(Comm& comm, const std::vector<Page>& local_pages,
+                           const std::function<void(PageView)>& process,
+                           std::uint64_t* messages_sent) {
   const int p = comm.size();
   if (p == 1) {
     for (const Page& page : local_pages) process(page);
     return 0;
   }
 
-  // Agree on a common round count (max pages over members); short ranks
-  // pad with empty pages so the pipeline stays in lockstep.
-  std::uint64_t my_pages = local_pages.size();
-  const std::uint64_t pages_word = my_pages;
-  auto blobs = comm.AllGather(std::span<const std::byte>(
-      reinterpret_cast<const std::byte*>(&pages_word), sizeof(pages_word)));
-  std::uint64_t rounds = 0;
-  for (const auto& blob : blobs) {
-    std::uint64_t v = 0;
-    std::memcpy(&v, blob.data(), sizeof(v));
-    rounds = std::max(rounds, v);
-  }
+  // Agree on a common round count (max pages over members) with one
+  // log-P max-reduction; short ranks pad with empty payloads so the
+  // pipeline stays in lockstep.
+  std::uint64_t rounds = local_pages.size();
+  comm.AllReduceMax(std::span<std::uint64_t>(&rounds, 1));
 
   std::uint64_t bytes_sent = 0;
-  const Page empty_page;
-  Page sbuf;
-  Page rbuf;
+  const std::uint64_t my_pages = local_pages.size();
   for (std::uint64_t round = 0; round < rounds; ++round) {
-    // FillBuffer(fd, SBuf): next local page (or padding).
-    sbuf = round < my_pages ? local_pages[round] : empty_page;
+    // FillBuffer(fd, SBuf): wrap the next local page into a shared
+    // payload — the only copy this page ever pays for the whole lap.
+    Payload sbuf =
+        round < my_pages
+            ? Payload::Copy(std::span<const std::byte>(
+                  reinterpret_cast<const std::byte*>(local_pages[round].data()),
+                  local_pages[round].size() * sizeof(std::uint32_t)))
+            : Payload();
     // for (k = 0; k < P-1; ++k) { Irecv(left); Isend(right);
     //   Subset(SBuf); Waitall(); swap(SBuf, RBuf); }
     for (int step = 0; step < p - 1; ++step) {
       RecvRequest req = comm.Irecv(comm.LeftNeighbor(), kTagRingData);
-      comm.Isend(comm.RightNeighbor(), kTagRingData,
-                 std::span<const std::byte>(
-                     reinterpret_cast<const std::byte*>(sbuf.data()),
-                     sbuf.size() * sizeof(std::uint32_t)));
-      bytes_sent += sbuf.size() * sizeof(std::uint32_t);
+      comm.Isend(comm.RightNeighbor(), kTagRingData, sbuf);  // same handle
+      bytes_sent += sbuf.size();
       if (messages_sent != nullptr) ++*messages_sent;
-      if (!sbuf.empty()) process(sbuf);
+      // Overlap: complete the posted receive early if the neighbor's page
+      // is already deliverable, then count SBuf while RBuf sits ready.
+      (void)comm.Test(req);
+      if (!sbuf.empty()) process(PageViewOfBytes(sbuf.bytes()));
       comm.Wait(req);
-      rbuf.assign(
-          reinterpret_cast<const std::uint32_t*>(req.data().data()),
-          reinterpret_cast<const std::uint32_t*>(req.data().data() +
-                                                 req.data().size()));
-      std::swap(sbuf, rbuf);
+      sbuf = req.payload();  // forwarded next step: zero-copy hand-off
     }
     // Final buffer (originating P-1 hops away).
-    if (!sbuf.empty()) process(sbuf);
+    if (!sbuf.empty()) process(PageViewOfBytes(sbuf.bytes()));
   }
   return bytes_sent;
 }

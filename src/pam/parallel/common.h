@@ -105,12 +105,15 @@ ItemsetCollection FrequentSubset(const ItemsetCollection& candidates,
 
 /// Runs the Figure-6 ring pipeline over this rank's pages within `comm`:
 /// every page of every member circulates through all members; `process` is
-/// invoked for each page (own pages included). Rounds are padded with empty
-/// pages so ranks with fewer pages stay in lockstep. Returns bytes sent.
-std::uint64_t RingShiftAll(
-    Comm& comm, const std::vector<Page>& local_pages,
-    const std::function<void(const Page&)>& process,
-    std::uint64_t* messages_sent);
+/// invoked for each page (own pages included), with a view into the page's
+/// in-flight transport buffer — no copy out. Each local page is wrapped
+/// into a shared payload once; every forwarding hop re-sends the received
+/// handle, so circulation costs zero byte copies and zero checksum
+/// recomputes beyond the initial wrap. Rounds are padded with empty
+/// payloads so ranks with fewer pages stay in lockstep. Returns bytes sent.
+std::uint64_t RingShiftAll(Comm& comm, const std::vector<Page>& local_pages,
+                           const std::function<void(PageView)>& process,
+                           std::uint64_t* messages_sent);
 
 /// HD grid-rows choice: 1 if M < m, else the smallest divisor of P that is
 /// >= ceil(M / m) (capped at P).

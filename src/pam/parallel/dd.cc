@@ -12,21 +12,18 @@ using parallel_internal::FrequentSubset;
 using parallel_internal::ParallelPass1;
 using parallel_internal::RingShiftAll;
 
-Page PageFromBytes(const std::vector<std::byte>& raw) {
-  Page page(raw.size() / sizeof(std::uint32_t));
-  std::memcpy(page.data(), raw.data(), raw.size());
-  return page;
-}
-
 // DD's data movement (paper Section III-B): every rank pushes each of its
 // local pages to every other rank with P-1 point-to-point sends, receiving
-// and processing remote pages as they arrive. The communication volume per
-// rank is (P-1) * N/P sent and received; on real sparse networks this
-// pattern additionally suffers contention, which the cost model charges
-// analytically (our mailboxes are unbounded, so the finite-buffer idling
-// the paper describes cannot physically deadlock here).
+// and processing remote pages as they arrive. Each page is wrapped into a
+// shared payload once; the P-1 sends all carry the same handle, and remote
+// pages are scanned in place through a view of the transport buffer. The
+// communication volume per rank is (P-1) * N/P sent and received; on real
+// sparse networks this pattern additionally suffers contention, which the
+// cost model charges analytically (our mailboxes are unbounded, so the
+// finite-buffer idling the paper describes cannot physically deadlock
+// here).
 void DdAllToAllMovement(Comm& comm, const std::vector<Page>& local_pages,
-                        const std::function<void(const Page&)>& process,
+                        const std::function<void(PageView)>& process,
                         PassMetrics* metrics) {
   const int p = comm.size();
   if (p == 1) {
@@ -34,30 +31,23 @@ void DdAllToAllMovement(Comm& comm, const std::vector<Page>& local_pages,
     return;
   }
 
-  // Exchange page counts so every rank knows how many remote pages to
-  // expect in total.
-  std::uint64_t mine = local_pages.size();
-  auto blobs = comm.AllGather(std::span<const std::byte>(
-      reinterpret_cast<const std::byte*>(&mine), sizeof(mine)));
-  std::uint64_t expected_remote = 0;
-  for (int r = 0; r < p; ++r) {
-    if (r == comm.rank()) continue;
-    std::uint64_t v = 0;
-    std::memcpy(&v, blobs[static_cast<std::size_t>(r)].data(), sizeof(v));
-    expected_remote += v;
-  }
+  // One log-P sum-reduction tells every rank the global page total; its
+  // remote expectation is the total minus its own contribution.
+  std::uint64_t total_pages = local_pages.size();
+  comm.AllReduceSum(std::span<std::uint64_t>(&total_pages, 1));
+  const std::uint64_t expected_remote = total_pages - local_pages.size();
 
   std::uint64_t received = 0;
-  std::vector<std::byte> raw;
+  Payload incoming;
   for (const Page& page : local_pages) {
-    const auto bytes = std::span<const std::byte>(
+    const Payload handle = Payload::Copy(std::span<const std::byte>(
         reinterpret_cast<const std::byte*>(page.data()),
-        page.size() * sizeof(std::uint32_t));
+        page.size() * sizeof(std::uint32_t)));
     for (int r = 0; r < p; ++r) {
       if (r == comm.rank()) continue;
-      comm.Isend(r, kTagDdPage, bytes);
+      comm.Isend(r, kTagDdPage, handle);  // same handle to every peer
       if (metrics != nullptr) {
-        metrics->data_bytes_sent += bytes.size();
+        metrics->data_bytes_sent += handle.size();
         ++metrics->data_messages_sent;
       }
     }
@@ -65,15 +55,15 @@ void DdAllToAllMovement(Comm& comm, const std::vector<Page>& local_pages,
     // Drain whatever remote pages already arrived (ties broken in favor of
     // other processors' buffers, as in the paper).
     while (received < expected_remote &&
-           comm.TryRecv(-1, kTagDdPage, &raw)) {
+           comm.TryRecvPayload(-1, kTagDdPage, &incoming)) {
       ++received;
-      process(PageFromBytes(raw));
+      process(PageViewOfBytes(incoming.bytes()));
     }
   }
   while (received < expected_remote) {
-    raw = comm.Recv(-1, kTagDdPage);
+    incoming = comm.RecvPayload(-1, kTagDdPage);
     ++received;
-    process(PageFromBytes(raw));
+    process(PageViewOfBytes(incoming.bytes()));
   }
 }
 
@@ -131,7 +121,7 @@ RankOutput RunDdRank(const TransactionDatabase& db, Comm& comm,
     m.tree_build_inserts = tree.build_inserts();
 
     std::vector<Count> counts(candidates.size(), 0);
-    auto process = [&](const Page& page) {
+    auto process = [&](PageView page) {
       ForEachTransaction(page, [&](ItemSpan tx) {
         tree.Subset(tx, std::span<Count>(counts), &m.subset);
         ++m.transactions_processed;

@@ -100,7 +100,7 @@ RankOutput RunHdRank(const TransactionDatabase& db, Comm& comm,
     // Step 1: IDD within the column — each rank sees the G * N/P
     // transactions of its column.
     std::vector<Count> counts(candidates.size(), 0);
-    auto process = [&](const Page& page) {
+    auto process = [&](PageView page) {
       ForEachTransaction(page, [&](ItemSpan tx) {
         tree.Subset(tx, std::span<Count>(counts), &m.subset, filter);
         ++m.transactions_processed;

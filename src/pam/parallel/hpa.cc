@@ -49,7 +49,7 @@ class SubsetRouter {
       comm_.Send(dst, kTagHpaSubsets, std::span<const std::byte>());
     }
     while (done_received_ < comm_.size() - 1) {
-      Dispatch(comm_.Recv(-1, kTagHpaSubsets));
+      Dispatch(comm_.RecvPayload(-1, kTagHpaSubsets).bytes());
     }
   }
 
@@ -96,11 +96,12 @@ class SubsetRouter {
     buffer.clear();
   }
 
-  // Routes an incoming message: an empty message is a peer's
+  // Routes an incoming message (a view into its shared transport buffer;
+  // subsets are probed in place): an empty message is a peer's
   // end-of-stream marker (a fast peer may finish while we are still
   // routing, so markers can arrive at any time), everything else is a
   // batch of subsets to probe.
-  void Dispatch(const std::vector<std::byte>& raw) {
+  void Dispatch(std::span<const std::byte> raw) {
     if (raw.empty()) {
       ++done_received_;
       return;
@@ -114,9 +115,9 @@ class SubsetRouter {
   }
 
   void DrainNonBlocking() {
-    std::vector<std::byte> raw;
-    while (comm_.TryRecv(-1, kTagHpaSubsets, &raw, nullptr)) {
-      Dispatch(raw);
+    Payload raw;
+    while (comm_.TryRecvPayload(-1, kTagHpaSubsets, &raw, nullptr)) {
+      Dispatch(raw.bytes());
     }
   }
 

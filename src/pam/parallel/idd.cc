@@ -75,7 +75,7 @@ RankOutput RunIddRank(const TransactionDatabase& db, Comm& comm,
             : nullptr;
 
     std::vector<Count> counts(candidates.size(), 0);
-    auto process = [&](const Page& page) {
+    auto process = [&](PageView page) {
       ForEachTransaction(page, [&](ItemSpan tx) {
         tree.Subset(tx, std::span<Count>(counts), &m.subset, filter);
         ++m.transactions_processed;

@@ -70,12 +70,15 @@ std::vector<Rule> GenerateRulesParallel(Comm& comm,
   }
 
   const std::vector<std::uint64_t> mine = SerializeRules(local);
-  auto blobs = comm.AllGather(std::span<const std::byte>(
-      reinterpret_cast<const std::byte*>(mine.data()),
-      mine.size() * sizeof(std::uint64_t)));
+  // Ring all-gather of payload handles; rules deserialize straight out of
+  // the shared transport buffers.
+  const std::vector<Payload> blobs =
+      comm.AllGatherPayload(Payload::Copy(std::span<const std::byte>(
+          reinterpret_cast<const std::byte*>(mine.data()),
+          mine.size() * sizeof(std::uint64_t))));
 
   std::vector<Rule> merged;
-  for (const auto& blob : blobs) {
+  for (const Payload& blob : blobs) {
     std::vector<Rule> part = DeserializeRules(
         reinterpret_cast<const std::uint64_t*>(blob.data()),
         blob.size() / sizeof(std::uint64_t));

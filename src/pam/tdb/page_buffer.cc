@@ -27,8 +27,7 @@ std::vector<Page> Paginate(const TransactionDatabase& db,
   return pages;
 }
 
-void ForEachTransaction(const Page& page,
-                        const std::function<void(ItemSpan)>& fn) {
+void ForEachTransaction(PageView page, const std::function<void(ItemSpan)>& fn) {
   std::size_t pos = 0;
   while (pos < page.size()) {
     const std::size_t len = page[pos++];
@@ -38,7 +37,7 @@ void ForEachTransaction(const Page& page,
   }
 }
 
-std::size_t PageTransactionCount(const Page& page) {
+std::size_t PageTransactionCount(PageView page) {
   std::size_t pos = 0;
   std::size_t count = 0;
   while (pos < page.size()) {

@@ -1,8 +1,10 @@
 #ifndef PAM_TDB_PAGE_BUFFER_H_
 #define PAM_TDB_PAGE_BUFFER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "pam/tdb/database.h"
@@ -18,6 +20,18 @@ namespace pam {
 /// Layout: repeated { u32 transaction_length, u32 items[transaction_length] }.
 using Page = std::vector<std::uint32_t>;
 
+/// Read-only view of a wire page. Pages received from the transport are
+/// scanned in place through one of these (backed by the shared Payload
+/// buffer) instead of being copied into an owned Page first.
+using PageView = std::span<const std::uint32_t>;
+
+/// Reinterprets a received payload's bytes as a page view (pages are
+/// word-aligned u32 runs; payload buffers are allocator-aligned).
+inline PageView PageViewOfBytes(std::span<const std::byte> bytes) {
+  return PageView(reinterpret_cast<const std::uint32_t*>(bytes.data()),
+                  bytes.size() / sizeof(std::uint32_t));
+}
+
 /// Splits the given slice of a database into pages of at most
 /// `page_bytes` bytes each (always at least one transaction per page, so a
 /// jumbo transaction simply yields an oversized page).
@@ -25,15 +39,15 @@ std::vector<Page> Paginate(const TransactionDatabase& db,
                            TransactionDatabase::Slice slice,
                            std::size_t page_bytes);
 
-/// Invokes `fn` for every transaction serialized in `page`.
-void ForEachTransaction(const Page& page,
-                        const std::function<void(ItemSpan)>& fn);
+/// Invokes `fn` for every transaction serialized in `page` (a Page
+/// converts implicitly).
+void ForEachTransaction(PageView page, const std::function<void(ItemSpan)>& fn);
 
 /// Number of transactions serialized in `page`.
-std::size_t PageTransactionCount(const Page& page);
+std::size_t PageTransactionCount(PageView page);
 
 /// Size of a page in wire bytes.
-inline std::size_t PageBytes(const Page& page) {
+inline std::size_t PageBytes(PageView page) {
   return page.size() * sizeof(std::uint32_t);
 }
 

@@ -212,6 +212,138 @@ TEST(CommTest, IrecvWaitMatchesIsend) {
   });
 }
 
+TEST(CommTest, TestPollsWithoutBlocking) {
+  // Test() must return false while nothing is deliverable and complete the
+  // request without a Wait() once the message lands.
+  Runtime rt(2);
+  rt.Run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      RecvRequest req = comm.Irecv(1, 14);
+      EXPECT_FALSE(comm.Test(req));  // nothing sent yet
+      EXPECT_FALSE(req.done());
+      comm.Barrier();
+      comm.Barrier();  // rank 1 sends between the barriers
+      EXPECT_TRUE(comm.Test(req));
+      EXPECT_TRUE(req.done());
+      EXPECT_EQ(req.data().size(), 4u);
+      comm.Wait(req);  // idempotent on a completed request
+      EXPECT_EQ(req.data().size(), 4u);
+    } else {
+      comm.Barrier();
+      comm.SendVec<std::uint32_t>(0, 14, {5});
+      comm.Barrier();
+    }
+  });
+}
+
+TEST(CommTest, SenderMutationAfterIsendDoesNotCorruptInFlight) {
+  // Send(span) snapshots the bytes into an immutable payload: scribbling
+  // over the source buffer afterwards must not reach the receiver (nor
+  // trip the integrity check).
+  Runtime rt(2);
+  rt.Run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::uint32_t> buffer = {1, 2, 3, 4};
+      comm.Isend(1, 15,
+                 std::span<const std::byte>(
+                     reinterpret_cast<const std::byte*>(buffer.data()),
+                     buffer.size() * sizeof(std::uint32_t)));
+      for (auto& x : buffer) x = 0xDEAD;  // mutate after the send
+      comm.Barrier();
+    } else {
+      comm.Barrier();  // receive only after the sender has mutated
+      EXPECT_EQ(comm.RecvVec<std::uint32_t>(0, 15),
+                (std::vector<std::uint32_t>{1, 2, 3, 4}));
+    }
+  });
+}
+
+TEST(CommTest, ForwardedHandleSurvivesOriginatorScope) {
+  // Rank 0 originates a payload inside a scope that ends before the chain
+  // completes; ranks 1 and 2 forward the received handle. The refcount —
+  // not the originator's stack — must keep the bytes alive.
+  Runtime rt(3);
+  rt.Run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      {
+        std::vector<std::uint32_t> words(1024);
+        for (std::size_t i = 0; i < words.size(); ++i) {
+          words[i] = static_cast<std::uint32_t>(i * 3 + 1);
+        }
+        comm.Send(1, 16,
+                  std::span<const std::byte>(
+                      reinterpret_cast<const std::byte*>(words.data()),
+                      words.size() * sizeof(std::uint32_t)));
+      }  // originator's buffer gone
+      const std::vector<std::uint32_t> got = comm.RecvVec<std::uint32_t>(2, 16);
+      ASSERT_EQ(got.size(), 1024u);
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i], static_cast<std::uint32_t>(i * 3 + 1));
+      }
+    } else {
+      Payload handle = comm.RecvPayload(comm.rank() - 1, 16);
+      comm.Send((comm.rank() + 1) % 3, 16, std::move(handle));
+    }
+  });
+}
+
+TEST(CommTest, ForwardingAHandleCopiesNothing) {
+  // One materialization at the source, then a relay hop and the final
+  // receive all share the same buffer: the pool's copy counter must move
+  // by exactly one for the whole chain.
+  Runtime rt(2);
+  const std::uint64_t copies_before = BufferPool::CopyCount();
+  rt.Run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::uint32_t> words = {10, 20, 30};
+      comm.Send(1, 17,
+                std::span<const std::byte>(
+                    reinterpret_cast<const std::byte*>(words.data()),
+                    words.size() * sizeof(std::uint32_t)));
+      const Payload back = comm.RecvPayload(1, 18);
+      EXPECT_EQ(back.size(), 12u);
+    } else {
+      Payload handle = comm.RecvPayload(0, 17);
+      comm.Send(0, 18, std::move(handle));  // relay: same handle
+    }
+  });
+  EXPECT_EQ(BufferPool::CopyCount() - copies_before, 1u);
+}
+
+TEST(CommTest, AllReduceMaxEverywhere) {
+  const int p = 6;  // exercises the non-power-of-two fold
+  Runtime rt(p);
+  rt.Run([p](Comm& comm) {
+    std::vector<std::uint64_t> vals = {
+        static_cast<std::uint64_t>(comm.rank()),
+        static_cast<std::uint64_t>(p - comm.rank()), 7};
+    comm.AllReduceMax(std::span<std::uint64_t>(vals));
+    EXPECT_EQ(vals[0], static_cast<std::uint64_t>(p - 1));
+    EXPECT_EQ(vals[1], static_cast<std::uint64_t>(p));
+    EXPECT_EQ(vals[2], 7u);
+  });
+}
+
+TEST(CommTest, BcastFromEveryRootNonPowerOfTwo) {
+  // The binomial tree must deliver for any root in a non-power-of-two
+  // group (vrank arithmetic wraps around the ring).
+  const int p = 7;
+  Runtime rt(p);
+  rt.Run([p](Comm& comm) {
+    for (int root = 0; root < p; ++root) {
+      std::vector<std::byte> data;
+      if (comm.rank() == root) {
+        data = {std::byte{static_cast<unsigned char>(root)},
+                std::byte{42}};
+      }
+      const std::vector<std::byte> got = comm.Bcast(root, data);
+      ASSERT_EQ(got.size(), 2u);
+      EXPECT_EQ(got[0], std::byte{static_cast<unsigned char>(root)});
+      EXPECT_EQ(got[1], std::byte{42});
+    }
+  });
+}
+
 TEST(CommTest, RingNeighbors) {
   Runtime rt(4);
   rt.Run([](Comm& comm) {

@@ -28,7 +28,7 @@ TEST(RingShiftAllTest, EveryRankSeesEveryPageExactlyOnce) {
     const std::vector<Page> pages = Paginate(db, slice, 64);
     auto& mine = seen[static_cast<std::size_t>(comm.rank())];
     RingShiftAll(comm, pages,
-                 [&mine](const Page& page) {
+                 [&mine](PageView page) {
                    ForEachTransaction(page, [&mine](ItemSpan tx) {
                      mine.insert(std::vector<Item>(tx.begin(), tx.end()));
                    });
@@ -56,7 +56,7 @@ TEST(RingShiftAllTest, ReportsBytesSent) {
     const auto slice = db.RankSlice(comm.rank(), comm.size());
     const std::vector<Page> pages = Paginate(db, slice, 128);
     std::uint64_t msgs = 0;
-    total_bytes += RingShiftAll(comm, pages, [](const Page&) {}, &msgs);
+    total_bytes += RingShiftAll(comm, pages, [](PageView) {}, &msgs);
     total_msgs += msgs;
   });
   // Every page is forwarded P-1 times in total... by each holder: each
@@ -75,7 +75,7 @@ TEST(RingShiftAllTest, SingleRankProcessesLocally) {
     std::size_t transactions = 0;
     const std::uint64_t bytes = RingShiftAll(
         comm, pages,
-        [&transactions](const Page& page) {
+        [&transactions](PageView page) {
           transactions += PageTransactionCount(page);
         },
         nullptr);
@@ -97,7 +97,7 @@ TEST(RingShiftAllTest, UnevenPageCountsStayInLockstep) {
                          : TransactionDatabase::Slice{db.size(), db.size()};
     const std::vector<Page> pages = Paginate(db, slice, 64);
     RingShiftAll(comm, pages,
-                 [&, r = comm.rank()](const Page& page) {
+                 [&, r = comm.rank()](PageView page) {
                    seen[static_cast<std::size_t>(r)] +=
                        PageTransactionCount(page);
                  },
