@@ -51,7 +51,7 @@ int main() {
     cfg.idd_use_bitmap = v.bitmap;
     cfg.split_heavy_prefixes = v.split_heavy;
 
-    ParallelResult result = MineParallel(Algorithm::kIDD, db, p, cfg);
+    MiningReport result = bench::Mine(Algorithm::kIDD, db, p, cfg);
     std::uint64_t steps = 0;
     std::uint64_t visits = 0;
     double heaviest_work = -1.0;

@@ -204,7 +204,7 @@ bool MiningOutputsIdentical(const TransactionDatabase& db, int p,
   bool ok = true;
   for (Algorithm algorithm : {Algorithm::kCD, Algorithm::kDD, Algorithm::kIDD,
                               Algorithm::kHD}) {
-    const ParallelResult result = MineParallel(algorithm, db, p, config);
+    const MiningReport result = bench::Mine(algorithm, db, p, config);
     const bool same = bench::SameItemsets(serial.frequent, result.frequent);
     ok = ok && same;
     *detail += (detail->empty() ? "" : ", ") + AlgorithmName(algorithm) +

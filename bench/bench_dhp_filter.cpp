@@ -31,7 +31,7 @@ int main() {
     cfg.apriori.tree = bench::BenchTreeConfig();
     cfg.apriori.dhp_buckets = buckets;
     cfg.apriori.use_pass2_triangle = false;  // instrument pass 2 via the tree
-    ParallelResult result = MineParallel(Algorithm::kCD, db, p, cfg);
+    MiningReport result = bench::Mine(Algorithm::kCD, db, p, cfg);
 
     std::size_t c2 = 0;
     std::uint64_t visits = 0;

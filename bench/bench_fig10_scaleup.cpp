@@ -43,7 +43,7 @@ int main() {
 
     std::printf("%6d", p);
     for (Algorithm alg : algorithms) {
-      ParallelResult result = MineParallel(alg, db, p, cfg);
+      MiningReport result = bench::Mine(alg, db, p, cfg);
       std::printf(" %12.3f", model.RunTime(alg, result.metrics));
     }
     std::printf("\n");

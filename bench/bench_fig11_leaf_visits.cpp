@@ -30,9 +30,9 @@ int main() {
     cfg.apriori.minsup_fraction = 0.005;
     cfg.apriori.use_pass2_triangle = false;  // instrument pass 2 via the tree
 
-    ParallelResult dd = MineParallel(Algorithm::kDD, db, p, cfg);
-    ParallelResult idd = MineParallel(Algorithm::kIDD, db, p, cfg);
-    ParallelResult serial = MineParallel(Algorithm::kCD, db, 1, cfg);
+    MiningReport dd = bench::Mine(Algorithm::kDD, db, p, cfg);
+    MiningReport idd = bench::Mine(Algorithm::kIDD, db, p, cfg);
+    MiningReport serial = bench::Mine(Algorithm::kCD, db, 1, cfg);
 
     // Figure 11 plots the per-rank per-transaction average over the
     // candidate-heaviest pass.
@@ -47,7 +47,7 @@ int main() {
         heavy_pass = pass;
       }
     }
-    auto avg_visits = [heavy_pass](const ParallelResult& r) {
+    auto avg_visits = [heavy_pass](const MiningReport& r) {
       if (heavy_pass >= r.metrics.num_passes()) return 0.0;
       return r.metrics.PassSubsetStats(heavy_pass)
           .AvgLeafVisitsPerTransaction();

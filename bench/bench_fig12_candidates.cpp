@@ -48,9 +48,9 @@ int main() {
     cd_cfg.apriori.max_candidates_in_memory =
         scaled_sp2.memory_capacity_candidates;
 
-    ParallelResult cd = MineParallel(Algorithm::kCD, db, p, cd_cfg);
-    ParallelResult idd = MineParallel(Algorithm::kIDD, db, p, cfg);
-    ParallelResult hd = MineParallel(Algorithm::kHD, db, p, cfg);
+    MiningReport cd = bench::Mine(Algorithm::kCD, db, p, cd_cfg);
+    MiningReport idd = bench::Mine(Algorithm::kIDD, db, p, cfg);
+    MiningReport hd = bench::Mine(Algorithm::kHD, db, p, cfg);
 
     std::size_t max_m = 0;
     std::size_t max_scans = 0;

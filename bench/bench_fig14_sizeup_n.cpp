@@ -40,7 +40,7 @@ int main() {
     const Algorithm algs[] = {Algorithm::kCD, Algorithm::kIDD,
                               Algorithm::kHD};
     for (int a = 0; a < 3; ++a) {
-      ParallelResult result = MineParallel(algs[a], db, p, cfg);
+      MiningReport result = bench::Mine(algs[a], db, p, cfg);
       for (int pass = 0; pass < result.metrics.num_passes(); ++pass) {
         const auto& row =
             result.metrics.per_pass[static_cast<std::size_t>(pass)];

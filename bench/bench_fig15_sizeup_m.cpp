@@ -52,7 +52,7 @@ int main() {
                               Algorithm::kHD};
     for (int a = 0; a < 3; ++a) {
       const ParallelConfig& use = algs[a] == Algorithm::kCD ? cd_cfg : cfg;
-      ParallelResult result = MineParallel(algs[a], db, p, use);
+      MiningReport result = bench::Mine(algs[a], db, p, use);
       for (int pass = 0; pass < result.metrics.num_passes(); ++pass) {
         const auto& row =
             result.metrics.per_pass[static_cast<std::size_t>(pass)];

@@ -22,9 +22,9 @@ int main() {
   cfg.apriori.minsup_fraction = 0.0075;
   cfg.apriori.tree = bench::BenchTreeConfig();
 
-  ParallelResult dd = MineParallel(Algorithm::kDD, db, p, cfg);
-  ParallelResult idd = MineParallel(Algorithm::kIDD, db, p, cfg);
-  ParallelResult hpa = MineParallel(Algorithm::kHPA, db, p, cfg);
+  MiningReport dd = bench::Mine(Algorithm::kDD, db, p, cfg);
+  MiningReport idd = bench::Mine(Algorithm::kIDD, db, p, cfg);
+  MiningReport hpa = bench::Mine(Algorithm::kHPA, db, p, cfg);
 
   std::printf("P = %d, N = %zu, avg transaction length %.1f\n\n", p,
               db.size(), db.AverageLength());

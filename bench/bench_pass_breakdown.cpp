@@ -36,7 +36,7 @@ int main() {
     double idd_parts[3] = {0, 0, 0};
     for (int a = 0; a < 2; ++a) {
       const Algorithm alg = a == 0 ? Algorithm::kCD : Algorithm::kIDD;
-      ParallelResult result = MineParallel(alg, db, p, cfg);
+      MiningReport result = bench::Mine(alg, db, p, cfg);
       for (int pass = 0; pass < result.metrics.num_passes(); ++pass) {
         const auto& row =
             result.metrics.per_pass[static_cast<std::size_t>(pass)];

@@ -49,7 +49,7 @@ int main() {
                               Algorithm::kDDComm, Algorithm::kIDD,
                               Algorithm::kHD};
     for (int a = 0; a < 5; ++a) {
-      ParallelResult result = MineParallel(algs[a], db, p, cfg);
+      MiningReport result = bench::Mine(algs[a], db, p, cfg);
       times[a] = model.RunTime(algs[a], result.metrics);
       frequent = result.frequent.TotalCount();
     }
@@ -87,8 +87,8 @@ int main() {
     const Algorithm algs[] = {Algorithm::kCD, Algorithm::kDD,
                               Algorithm::kIDD, Algorithm::kHD};
     for (Algorithm alg : algs) {
-      ParallelResult clean = MineParallel(alg, db, p, clean_cfg);
-      ParallelResult faulty = MineParallel(alg, db, p, faulty_cfg);
+      MiningReport clean = bench::Mine(alg, db, p, clean_cfg);
+      MiningReport faulty = bench::Mine(alg, db, p, faulty_cfg);
       std::uint64_t messages = 0;
       for (const auto& pass : faulty.metrics.per_pass) {
         for (const auto& m : pass) messages += m.data_messages_sent;

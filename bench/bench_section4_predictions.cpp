@@ -30,7 +30,7 @@ int main() {
               "measured", "ratio");
   for (int p : {4, 16, 64}) {
     // Run once to learn the workload constants the analysis assumes.
-    ParallelResult probe = MineParallel(Algorithm::kCD, db, p, cfg);
+    MiningReport probe = bench::Mine(Algorithm::kCD, db, p, cfg);
     AnalyticWorkload w;
     w.num_transactions = static_cast<double>(db.size());
     w.avg_transaction_items = db.AverageLength();
@@ -47,7 +47,7 @@ int main() {
 
     for (Algorithm alg : {Algorithm::kCD, Algorithm::kDD, Algorithm::kIDD,
                           Algorithm::kHD}) {
-      ParallelResult result = MineParallel(alg, db, p, cfg);
+      MiningReport result = bench::Mine(alg, db, p, cfg);
       double measured = 0.0;
       for (int pass = 0; pass < result.metrics.num_passes(); ++pass) {
         const auto& row =

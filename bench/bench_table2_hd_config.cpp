@@ -29,7 +29,7 @@ int main() {
               cfg.hd_threshold_m, db.size(),
               cfg.apriori.minsup_fraction * 100.0);
 
-  ParallelResult result = MineParallel(Algorithm::kHD, db, p, cfg);
+  MiningReport result = bench::Mine(Algorithm::kHD, db, p, cfg);
 
   std::printf("%6s %16s %14s %12s %14s\n", "pass", "configuration",
               "candidates", "frequent", "equivalent");

@@ -15,11 +15,26 @@
 #include <cstdlib>
 #include <string>
 
+#include "pam/api/session.h"
 #include "pam/datagen/quest_gen.h"
 #include "pam/model/cost_model.h"
-#include "pam/parallel/driver.h"
 
 namespace pam::bench {
+
+/// Runs one parallel formulation through the MiningSession facade — the
+/// public entry point every harness exercises. No observers are attached,
+/// so this is the zero-overhead path; MiningReport's field names mirror
+/// the legacy ParallelResult's (frequent / metrics / minsup_count /
+/// wall_seconds) and the figure code reads the same.
+inline MiningReport Mine(Algorithm algorithm, const TransactionDatabase& db,
+                         int num_ranks, const ParallelConfig& config) {
+  MiningRequest request;
+  request.algorithm = FromParallelAlgorithm(algorithm);
+  request.num_ranks = num_ranks;
+  request.config = config;
+  MiningSession session;
+  return session.Run(request, db);
+}
 
 /// True if two mining results hold exactly the same itemsets with the same
 /// counts (used by the fault-recovery bench to certify exactness).

@@ -41,10 +41,48 @@ run_bench_comm_smoke() {
   (cd build-release/bench && ./bench_comm --smoke)
 }
 
+# One traced P=4 mining run per formulation through the MiningSession CLI
+# path: pam_mine must produce a chrome://tracing document and a metrics
+# document that parse as JSON and carry the expected top-level structure.
+run_traced_smoke() {
+  echo "=== traced mining smoke (all formulations) ==="
+  local tools="build-release/tools"
+  local scratch="build-release/traced_smoke"
+  mkdir -p "$scratch"
+  "$tools/pam_gen" --transactions 800 --items 100 --avg-len 8 \
+    --pattern-len 3 --patterns 40 --seed 7 --output "$scratch/smoke.bin"
+  for alg in serial cd dd ddcomm idd hd hpa; do
+    echo "--- $alg ---"
+    "$tools/pam_mine" --input "$scratch/smoke.bin" --minsup 2 \
+      --algorithm "$alg" --ranks 4 \
+      --trace-out "$scratch/$alg.trace.json" \
+      --metrics-out "$scratch/$alg.metrics.json" > /dev/null
+    python3 - "$scratch/$alg.trace.json" "$scratch/$alg.metrics.json" \
+      "$alg" <<'PYEOF'
+import json, sys
+trace_path, metrics_path, alg = sys.argv[1:4]
+with open(trace_path) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+spans = [e for e in events if e.get("ph") == "X"]
+assert spans, f"{alg}: no complete events in trace"
+kinds = {e["cat"] for e in spans}
+assert {"run", "pass"} <= kinds, f"{alg}: missing run/pass spans: {kinds}"
+with open(metrics_path) as f:
+    metrics = json.load(f)
+assert metrics["algorithm"], f"{alg}: metrics missing algorithm"
+assert metrics["complete"] is True, f"{alg}: metrics run did not complete"
+assert metrics["passes"], f"{alg}: metrics missing passes"
+print(f"{alg}: {len(spans)} spans, {len(metrics['passes'])} passes: ok")
+PYEOF
+  done
+}
+
 case "${1:-all}" in
   release)
     run_preset release
     run_bench_comm_smoke
+    run_traced_smoke
     ;;
   sanitize)
     run_preset sanitize
@@ -53,6 +91,7 @@ case "${1:-all}" in
   all)
     run_preset release
     run_bench_comm_smoke
+    run_traced_smoke
     run_preset sanitize
     run_chaos_sanitized
     ;;

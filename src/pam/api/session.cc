@@ -1,0 +1,176 @@
+#include "pam/api/session.h"
+
+#include <utility>
+
+#include "pam/util/timer.h"
+
+namespace pam {
+namespace {
+
+/// Folds a serial run's per-pass info into the unified metrics matrix
+/// (one rank), so every report exposes the same RunMetrics shape.
+RunMetrics SerialRunMetrics(const SerialResult& result,
+                            const TransactionDatabase& db) {
+  RunMetrics metrics;
+  metrics.per_pass.reserve(result.passes.size());
+  const TransactionDatabase::Slice whole{0, db.size()};
+  for (const SerialPassInfo& info : result.passes) {
+    PassMetrics m;
+    m.k = info.k;
+    m.num_candidates_global = info.num_candidates;
+    m.num_candidates_local = info.num_candidates;
+    m.num_frequent_global = info.num_frequent;
+    m.tree_build_inserts = info.tree_build_inserts;
+    m.subset = info.subset;
+    m.transactions_processed = db.size();
+    m.db_scans = info.db_scans;
+    m.local_db_wire_bytes = db.WireBytes(whole);
+    m.wall_seconds = info.seconds;
+    metrics.per_pass.push_back({m});
+  }
+  return metrics;
+}
+
+}  // namespace
+
+std::string MiningAlgorithmName(MiningAlgorithm algorithm) {
+  if (algorithm == MiningAlgorithm::kSerial) return "serial";
+  return AlgorithmName(ToParallelAlgorithm(algorithm));
+}
+
+bool ParseMiningAlgorithm(const std::string& name, MiningAlgorithm* out) {
+  if (name == "serial") *out = MiningAlgorithm::kSerial;
+  else if (name == "cd") *out = MiningAlgorithm::kCD;
+  else if (name == "dd") *out = MiningAlgorithm::kDD;
+  else if (name == "ddcomm") *out = MiningAlgorithm::kDDComm;
+  else if (name == "idd") *out = MiningAlgorithm::kIDD;
+  else if (name == "hd") *out = MiningAlgorithm::kHD;
+  else if (name == "hpa") *out = MiningAlgorithm::kHPA;
+  else return false;
+  return true;
+}
+
+bool IsParallel(MiningAlgorithm algorithm) {
+  return algorithm != MiningAlgorithm::kSerial;
+}
+
+Algorithm ToParallelAlgorithm(MiningAlgorithm algorithm) {
+  switch (algorithm) {
+    case MiningAlgorithm::kSerial:
+      break;  // no parallel counterpart; fall through to the assert
+    case MiningAlgorithm::kCD:
+      return Algorithm::kCD;
+    case MiningAlgorithm::kDD:
+      return Algorithm::kDD;
+    case MiningAlgorithm::kDDComm:
+      return Algorithm::kDDComm;
+    case MiningAlgorithm::kIDD:
+      return Algorithm::kIDD;
+    case MiningAlgorithm::kHD:
+      return Algorithm::kHD;
+    case MiningAlgorithm::kHPA:
+      return Algorithm::kHPA;
+  }
+  return Algorithm::kCD;
+}
+
+MiningAlgorithm FromParallelAlgorithm(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kCD:
+      return MiningAlgorithm::kCD;
+    case Algorithm::kDD:
+      return MiningAlgorithm::kDD;
+    case Algorithm::kDDComm:
+      return MiningAlgorithm::kDDComm;
+    case Algorithm::kIDD:
+      return MiningAlgorithm::kIDD;
+    case Algorithm::kHD:
+      return MiningAlgorithm::kHD;
+    case Algorithm::kHPA:
+      return MiningAlgorithm::kHPA;
+  }
+  return MiningAlgorithm::kCD;
+}
+
+void MiningSession::AddTraceSink(obs::TraceSink* sink) {
+  if (sink != nullptr) trace_sinks_.push_back(sink);
+}
+
+void MiningSession::AddMetricsSink(obs::MetricsSink* sink) {
+  if (sink != nullptr) metrics_sinks_.push_back(sink);
+}
+
+MiningReport MiningSession::Run(const MiningRequest& request,
+                                const TransactionDatabase& db) {
+  WallTimer timer;
+  MiningReport report;
+  report.minsup_count = request.config.apriori.ResolveMinsup(db.size());
+
+  // Observer wiring. A null SessionObs* is the disabled fast path: the
+  // run does no clock reads and no allocation beyond the mining itself.
+  const bool observing = !trace_sinks_.empty() || !metrics_sinks_.empty() ||
+                         request.collect_timeline;
+  obs::TimelineSink timeline_sink;
+  obs::SessionObs observers;
+  obs::SessionObs* obs_ptr = nullptr;
+  if (observing) {
+    observers.trace_sinks = trace_sinks_;
+    if (request.collect_timeline || !trace_sinks_.empty()) {
+      observers.trace_sinks.push_back(&timeline_sink);
+    }
+    observers.metrics_sinks = metrics_sinks_;
+    observers.origin = std::chrono::steady_clock::now();
+    obs_ptr = &observers;
+
+    obs::RunInfo info;
+    info.algorithm = MiningAlgorithmName(request.algorithm);
+    info.num_ranks = IsParallel(request.algorithm) ? request.num_ranks : 1;
+    info.minsup_count = report.minsup_count;
+    for (obs::MetricsSink* sink : metrics_sinks_) sink->OnRunBegin(info);
+  }
+
+  // The session-level tracer covers the run span and the serial path; the
+  // parallel rank threads install their own (thread-local, so the two
+  // never collide even though rank 0 shares this tracer's track id).
+  obs::RankTracer session_tracer(obs_ptr, /*rank=*/0);
+  obs::ScopedTracerInstall install(&session_tracer);
+  {
+    obs::ScopedSpan run_span(obs::SpanKind::kRun, -1,
+                             nullptr);
+    if (IsParallel(request.algorithm)) {
+      ParallelResult result =
+          MineParallelObserved(ToParallelAlgorithm(request.algorithm), db,
+                               request.num_ranks, request.config, obs_ptr);
+      report.frequent = std::move(result.frequent);
+      report.metrics = std::move(result.metrics);
+    } else {
+      SerialResult result = MineSerial(db, request.config.apriori);
+      report.metrics = SerialRunMetrics(result, db);
+      report.frequent = std::move(result.frequent);
+      // Serial passes stream post-hoc (the serial miner records
+      // SerialPassInfo; the matrix conversion happens here).
+      if (session_tracer.has_metrics_sinks()) {
+        for (const auto& pass : report.metrics.per_pass) {
+          session_tracer.EmitPassMetrics(pass[0]);
+        }
+      }
+    }
+    if (request.generate_rules) {
+      obs::ScopedSpan rule_span(obs::SpanKind::kRuleGen);
+      report.rules =
+          GenerateRules(report.frequent, db.size(), request.min_confidence);
+    }
+  }
+
+  for (obs::MetricsSink* sink : metrics_sinks_) {
+    sink->OnRunEnd(report.metrics);
+  }
+  if (obs_ptr != nullptr && (request.collect_timeline ||
+                             !trace_sinks_.empty())) {
+    report.timeline = timeline_sink.Take();
+  }
+  report.wall_seconds = timer.Seconds();
+  return report;
+}
+
+}  // namespace pam

@@ -1,0 +1,111 @@
+#ifndef PAM_API_SESSION_H_
+#define PAM_API_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "pam/core/rulegen.h"
+#include "pam/core/serial_apriori.h"
+#include "pam/obs/trace.h"
+#include "pam/parallel/driver.h"
+
+namespace pam {
+
+/// Every mining formulation behind the unified session API: the serial
+/// baseline plus the six parallel formulations of Algorithm.
+enum class MiningAlgorithm {
+  kSerial,
+  kCD,
+  kDD,
+  kDDComm,
+  kIDD,
+  kHD,
+  kHPA,
+};
+
+/// Display name ("serial", "CD", ...).
+std::string MiningAlgorithmName(MiningAlgorithm algorithm);
+
+/// Parses the CLI spelling ("serial", "cd", "ddcomm", ...). Returns false
+/// on an unknown name.
+bool ParseMiningAlgorithm(const std::string& name, MiningAlgorithm* out);
+
+bool IsParallel(MiningAlgorithm algorithm);
+
+/// The parallel formulation behind a non-serial MiningAlgorithm.
+Algorithm ToParallelAlgorithm(MiningAlgorithm algorithm);
+
+/// The MiningAlgorithm wrapping a parallel formulation.
+MiningAlgorithm FromParallelAlgorithm(Algorithm algorithm);
+
+/// Everything a mining run needs: what to mine, how, and with how many
+/// logical processors. One request shape for serial and parallel runs.
+struct MiningRequest {
+  MiningAlgorithm algorithm = MiningAlgorithm::kSerial;
+  /// Logical processors for parallel formulations (ignored for kSerial).
+  int num_ranks = 1;
+  /// Unified mining configuration (config.apriori carries the knobs the
+  /// serial algorithm shares with the parallel formulations).
+  ParallelConfig config;
+  /// Also derive association rules from the frequent itemsets.
+  bool generate_rules = false;
+  /// Minimum rule confidence in [0, 1] (only with generate_rules).
+  double min_confidence = 0.5;
+  /// Populate MiningReport::timeline even when no TraceSink is attached.
+  /// Off by default: a session with no observers and no timeline request
+  /// runs the exact zero-overhead path of the legacy entry points.
+  bool collect_timeline = false;
+};
+
+/// Everything a mining run produces.
+struct MiningReport {
+  FrequentItemsets frequent;
+  /// Association rules (empty unless the request asked for them).
+  std::vector<Rule> rules;
+  /// Exact per-pass, per-rank work and traffic counters. Serial runs
+  /// report one rank.
+  RunMetrics metrics;
+  Count minsup_count = 0;
+  /// End-to-end wall-clock of the run (informational: logical ranks share
+  /// the host's cores, so figures use the cost model instead).
+  double wall_seconds = 0.0;
+  /// Structured span timeline (empty unless a TraceSink was attached or
+  /// the request set collect_timeline).
+  obs::Timeline timeline;
+};
+
+/// The unified mining entry point: configure observers once, then run any
+/// number of requests through them.
+///
+///   pam::MiningSession session;
+///   pam::obs::ChromeTraceWriter trace;
+///   session.AddTraceSink(&trace);
+///   pam::MiningReport report = session.Run(request, db);
+///   trace.WriteFile("run.trace.json");  // load in chrome://tracing
+///
+/// Sinks are borrowed, not owned, and must outlive the session's Run
+/// calls; the provided sinks (ChromeTraceWriter, JsonMetricsWriter,
+/// TimelineSink) are thread-safe as required. With no sinks attached and
+/// collect_timeline off, a run does no clock reads and no allocation on
+/// the subset-counting hot path — exactly the legacy MineSerial /
+/// MineParallel behaviour those wrappers now delegate here.
+///
+/// Runs under fault injection behave like MineParallel: recoverable
+/// faults are repaired (and visible as fault_retry trace events), and
+/// unrecoverable ones throw CommError.
+class MiningSession {
+ public:
+  void AddTraceSink(obs::TraceSink* sink);
+  void AddMetricsSink(obs::MetricsSink* sink);
+
+  MiningReport Run(const MiningRequest& request,
+                   const TransactionDatabase& db);
+
+ private:
+  std::vector<obs::TraceSink*> trace_sinks_;
+  std::vector<obs::MetricsSink*> metrics_sinks_;
+};
+
+}  // namespace pam
+
+#endif  // PAM_API_SESSION_H_

@@ -6,6 +6,7 @@
 
 #include "pam/core/apriori_gen.h"
 #include "pam/hashtree/pair_counter.h"
+#include "pam/obs/trace.h"
 #include "pam/util/timer.h"
 
 namespace pam {
@@ -51,8 +52,12 @@ std::size_t CountCandidates(const TransactionDatabase& db,
                                 config.max_candidates_in_memory)) {
     TrianglePairCounter tri(*f1_for_triangle);
     SubsetStats* stats = info != nullptr ? &info->subset : nullptr;
-    for (std::size_t t = slice.begin; t < slice.end; ++t) {
-      tri.AddTransaction(db.Transaction(t), stats);
+    {
+      obs::ScopedSpan count_span(obs::SpanKind::kSubsetCount, /*index=*/0,
+                                 "triangle");
+      for (std::size_t t = slice.begin; t < slice.end; ++t) {
+        tri.AddTransaction(db.Transaction(t), stats);
+      }
     }
     std::vector<Count> counts(m, 0);
     tri.Extract(candidates, std::span<Count>(counts));
@@ -71,15 +76,21 @@ std::size_t CountCandidates(const TransactionDatabase& db,
     const std::size_t hi = std::min(m, lo + cap);
     std::vector<std::uint32_t> ids(hi - lo);
     std::iota(ids.begin(), ids.end(), static_cast<std::uint32_t>(lo));
+    obs::ScopedSpan build_span(obs::SpanKind::kTreeBuild,
+                               static_cast<std::int64_t>(chunk));
     HashTree tree(candidates, std::move(ids), config.tree);
     if (info != nullptr) {
       info->tree_build_inserts += tree.build_inserts();
       if (chunk == 0) info->num_leaves = tree.num_leaves();
     }
+    build_span.End();
+    obs::ScopedSpan count_span(obs::SpanKind::kSubsetCount,
+                               static_cast<std::int64_t>(chunk));
     for (std::size_t t = slice.begin; t < slice.end; ++t) {
       tree.Subset(db.Transaction(t), counts_span,
                   info != nullptr ? &info->subset : nullptr);
     }
+    count_span.End();
   }
   candidates.counts() = std::move(counts);
   return num_chunks;
@@ -88,8 +99,10 @@ std::size_t CountCandidates(const TransactionDatabase& db,
 }  // namespace
 
 SerialResult MineSerial(const TransactionDatabase& db,
-                        TransactionDatabase::Slice slice,
-                        const AprioriConfig& config) {
+                        const AprioriConfig& config,
+                        std::optional<TransactionDatabase::Slice> slice_opt) {
+  const TransactionDatabase::Slice slice =
+      slice_opt.value_or(TransactionDatabase::Slice{0, db.size()});
   WallTimer total_timer;
   SerialResult result;
   result.minsup_count = config.ResolveMinsup(slice.size());
@@ -98,6 +111,8 @@ SerialResult MineSerial(const TransactionDatabase& db,
   // the same scan also hashes every transaction pair into buckets.
   std::vector<Count> dhp_buckets;
   {
+    obs::ScopedSpan pass_span(obs::SpanKind::kPass, /*pass_k=*/1, -1,
+                              nullptr);
     WallTimer timer;
     SerialPassInfo info;
     info.k = 1;
@@ -116,6 +131,7 @@ SerialResult MineSerial(const TransactionDatabase& db,
   for (int k = 2; config.max_k == 0 || k <= config.max_k; ++k) {
     const ItemsetCollection& prev = result.frequent.levels.back();
     if (prev.size() < 2) break;
+    obs::ScopedSpan pass_span(obs::SpanKind::kPass, k, -1, nullptr);
     WallTimer timer;
     SerialPassInfo info;
     info.k = k;
@@ -125,7 +141,10 @@ SerialResult MineSerial(const TransactionDatabase& db,
           FilterByBuckets(candidates, dhp_buckets, result.minsup_count);
     }
     info.num_candidates = candidates.size();
-    if (candidates.empty()) break;
+    if (candidates.empty()) {
+      pass_span.Cancel();  // no SerialPassInfo row, so no pass span either
+      break;
+    }
 
     const ItemsetCollection* f1_for_triangle =
         (k == 2 && config.use_pass2_triangle) ? &prev : nullptr;
@@ -146,11 +165,6 @@ SerialResult MineSerial(const TransactionDatabase& db,
   }
   result.total_seconds = total_timer.Seconds();
   return result;
-}
-
-SerialResult MineSerial(const TransactionDatabase& db,
-                        const AprioriConfig& config) {
-  return MineSerial(db, TransactionDatabase::Slice{0, db.size()}, config);
 }
 
 }  // namespace pam

@@ -2,6 +2,7 @@
 #define PAM_CORE_SERIAL_APRIORI_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "pam/core/itemset_collection.h"
@@ -87,15 +88,12 @@ struct SerialResult {
   double total_seconds = 0.0;
 };
 
-/// The serial Apriori algorithm of the paper's Figure 1, restricted to the
-/// transactions in `slice` (pass the full range for a classic run).
-SerialResult MineSerial(const TransactionDatabase& db,
-                        TransactionDatabase::Slice slice,
-                        const AprioriConfig& config);
-
-/// Convenience overload over the whole database.
-SerialResult MineSerial(const TransactionDatabase& db,
-                        const AprioriConfig& config);
+/// The serial Apriori algorithm of the paper's Figure 1. Mines the whole
+/// database by default; pass `slice` to restrict the run to a transaction
+/// range (minsup resolves against the slice size).
+SerialResult MineSerial(
+    const TransactionDatabase& db, const AprioriConfig& config,
+    std::optional<TransactionDatabase::Slice> slice = std::nullopt);
 
 }  // namespace pam
 

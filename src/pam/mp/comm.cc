@@ -5,6 +5,7 @@
 #include <chrono>
 #include <thread>
 
+#include "pam/obs/trace.h"
 #include "pam/util/types.h"
 
 namespace pam {
@@ -217,6 +218,9 @@ void Comm::Send(int dst, int tag, Payload payload) {
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     if (attempt > 0) {
       world_->send_retries[static_cast<std::size_t>(src_world)] += 1;
+      if (obs::RankTracer* tracer = obs::CurrentTracer()) {
+        tracer->EmitInstant(obs::SpanKind::kFaultRetry, "retransmit");
+      }
     }
     FaultKind fault = plan.Decide(src_world, dst_world, tag, seq, attempt);
     if (payload.empty() &&
@@ -345,6 +349,7 @@ void Comm::Wait(RecvRequest& request) {
 
 void Comm::Barrier() {
   if (size() == 1) return;
+  obs::ScopedSpan span(obs::SpanKind::kCollective, -1, "barrier");
   const std::byte token{0};
   if (rank_ == 0) {
     for (int r = 1; r < size(); ++r) {
@@ -383,6 +388,8 @@ void MaxWords(std::uint64_t* inout, const std::uint64_t* other,
 void AllReduceWith(Comm& comm, std::span<std::uint64_t> inout, ReduceOp op) {
   const int p = comm.size();
   if (p == 1) return;
+  obs::ScopedSpan span(obs::SpanKind::kCollective,
+                       static_cast<std::int64_t>(inout.size()), "allreduce");
   const int rank = comm.rank();
 
   auto accumulate = [&](const Payload& blob) {
@@ -450,6 +457,7 @@ std::vector<Payload> Comm::AllGatherPayload(Payload mine) {
   std::vector<Payload> out(static_cast<std::size_t>(p));
   out[static_cast<std::size_t>(rank_)] = std::move(mine);
   if (p == 1) return out;
+  obs::ScopedSpan span(obs::SpanKind::kCollective, -1, "allgather");
 
   // Ring all-gather (the paper's "all-to-all broadcast" from [9]): P-1
   // steps; at step s every rank forwards the block it received at step
@@ -482,6 +490,7 @@ std::vector<std::vector<std::byte>> Comm::AllGather(
 Payload Comm::BcastPayload(int root, Payload data) {
   const int p = size();
   if (p == 1) return data;
+  obs::ScopedSpan span(obs::SpanKind::kCollective, -1, "bcast");
 
   // Binomial tree rooted at `root` over virtual ranks vrank = (rank -
   // root) mod P: a non-root receives once from the peer that clears its

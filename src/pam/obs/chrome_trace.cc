@@ -1,0 +1,122 @@
+#include "pam/obs/chrome_trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+
+namespace pam::obs {
+namespace {
+
+/// Formats a non-negative microsecond value with fixed 3-decimal
+/// precision (Trace Event Format timestamps are fractional microseconds).
+std::string FormatUs(double us) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", us < 0.0 ? 0.0 : us);
+  return buf;
+}
+
+/// Human-facing event name: "pass 3", "ring round 7", "collective
+/// allreduce", "subset count", ...
+std::string EventName(const SpanRecord& span) {
+  std::string name = SpanKindName(span.kind);
+  std::replace(name.begin(), name.end(), '_', ' ');
+  if (span.kind == SpanKind::kPass) {
+    name += ' ';
+    name += std::to_string(span.pass_k);
+  } else if (span.kind == SpanKind::kRingRound && span.index >= 0) {
+    name += ' ';
+    name += std::to_string(span.index);
+  } else if (span.detail != nullptr) {
+    name += ' ';
+    name += span.detail;
+  }
+  return name;
+}
+
+void AppendEvent(std::string* out, const SpanRecord& span) {
+  out->append("{\"name\":\"");
+  out->append(EventName(span));
+  out->append("\",\"cat\":\"");
+  out->append(SpanKindName(span.kind));
+  out->append("\",\"ph\":\"");
+  out->append(span.instant ? "i" : "X");
+  out->append("\",\"ts\":");
+  out->append(FormatUs(span.ts_us));
+  if (!span.instant) {
+    out->append(",\"dur\":");
+    out->append(FormatUs(span.dur_us));
+  }
+  out->append(",\"pid\":0,\"tid\":");
+  out->append(std::to_string(span.rank));
+  if (span.instant) {
+    out->append(",\"s\":\"t\"");  // thread-scoped instant marker
+  }
+  out->append(",\"args\":{\"k\":");
+  out->append(std::to_string(span.pass_k));
+  out->append(",\"index\":");
+  out->append(std::to_string(span.index));
+  out->append("}}");
+}
+
+}  // namespace
+
+void ChromeTraceWriter::OnSpan(const SpanRecord& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(span);
+}
+
+std::size_t ChromeTraceWriter::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::string ChromeTraceWriter::ToJson() const {
+  std::vector<SpanRecord> spans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans = spans_;
+  }
+  // Stable display order: by track, then start time (emission order closes
+  // children before parents, which viewers accept but humans do not).
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     if (a.rank != b.rank) return a.rank < b.rank;
+                     return a.ts_us < b.ts_us;
+                   });
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":"
+         "{\"name\":\"" + process_name_ + "\"}}";
+  std::set<int> ranks;
+  for (const SpanRecord& span : spans) ranks.insert(span.rank);
+  for (int rank : ranks) {
+    out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+    out += std::to_string(rank);
+    out += ",\"args\":{\"name\":\"rank ";
+    out += std::to_string(rank);
+    out += "\"}}";
+  }
+  for (const SpanRecord& span : spans) {
+    out += ",\n";
+    AppendEvent(&out, span);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status ChromeTraceWriter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Error("cannot open trace output '" + path + "'");
+  }
+  const std::string json = ToJson();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    return Status::Error("short write to trace output '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace pam::obs

@@ -1,0 +1,46 @@
+#ifndef PAM_OBS_CHROME_TRACE_H_
+#define PAM_OBS_CHROME_TRACE_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pam/obs/trace.h"
+#include "pam/util/status.h"
+
+namespace pam::obs {
+
+/// TraceSink that renders the run as a chrome://tracing / Perfetto
+/// document (Trace Event Format, JSON object form): one "X" complete
+/// event per span, one "i" instant event per point event, all on
+/// pid 0 with tid = rank, plus metadata events naming the tracks.
+///
+/// Buffered: spans accumulate in memory (thread-safe) and the document is
+/// produced by ToJson() / WriteFile() after the run. Timestamps are the
+/// session-relative microseconds of the SpanRecords, so concurrent rank
+/// tracks line up on one timeline.
+class ChromeTraceWriter : public TraceSink {
+ public:
+  explicit ChromeTraceWriter(std::string process_name = "pam")
+      : process_name_(std::move(process_name)) {}
+
+  void OnSpan(const SpanRecord& span) override;
+
+  /// The complete trace document.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`.
+  Status WriteFile(const std::string& path) const;
+
+  /// Spans buffered so far.
+  std::size_t size() const;
+
+ private:
+  std::string process_name_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+};
+
+}  // namespace pam::obs
+
+#endif  // PAM_OBS_CHROME_TRACE_H_

@@ -1,0 +1,50 @@
+#ifndef PAM_OBS_JSON_METRICS_H_
+#define PAM_OBS_JSON_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "pam/obs/trace.h"
+#include "pam/parallel/metrics.h"
+#include "pam/util/status.h"
+
+namespace pam::obs {
+
+/// MetricsSink that renders the run's PassMetrics stream as one JSON
+/// document: run facts, a per-pass array of per-rank counter objects, and
+/// run totals. Buffered and thread-safe; produce the document with
+/// ToJson() / WriteFile() after the run.
+class JsonMetricsWriter : public MetricsSink {
+ public:
+  void OnRunBegin(const RunInfo& info) override;
+  void OnPassMetrics(int rank, const PassMetrics& metrics) override;
+  void OnRunEnd(const RunMetrics& metrics) override;
+
+  /// The complete metrics document.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  RunInfo info_;
+  /// (pass index within the rank's stream, rank) -> metrics row, ordered
+  /// so the document lists passes ascending with ranks ascending inside.
+  std::map<std::pair<int, int>, PassMetrics> rows_;
+  /// Passes reported so far per rank (pass index of the next row).
+  std::map<int, int> passes_seen_;
+  bool run_ended_ = false;
+  std::uint64_t total_data_bytes_ = 0;
+  std::uint64_t total_faults_injected_ = 0;
+  std::uint64_t total_retries_ = 0;
+  std::uint64_t total_faults_detected_ = 0;
+  int num_passes_ = 0;
+};
+
+}  // namespace pam::obs
+
+#endif  // PAM_OBS_JSON_METRICS_H_

@@ -1,0 +1,132 @@
+#include "pam/obs/trace.h"
+
+#include <atomic>
+
+namespace pam::obs {
+namespace {
+
+thread_local RankTracer* t_current_tracer = nullptr;
+
+std::atomic<std::uint64_t> g_spans_emitted{0};
+
+}  // namespace
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kRun:
+      return "run";
+    case SpanKind::kPass:
+      return "pass";
+    case SpanKind::kTreeBuild:
+      return "tree_build";
+    case SpanKind::kRingRound:
+      return "ring_round";
+    case SpanKind::kAllToAll:
+      return "all_to_all";
+    case SpanKind::kCollective:
+      return "collective";
+    case SpanKind::kSubsetCount:
+      return "subset_count";
+    case SpanKind::kFaultRetry:
+      return "fault_retry";
+    case SpanKind::kRuleGen:
+      return "rule_gen";
+  }
+  return "?";
+}
+
+void RankTracer::Emit(const SpanRecord& span) {
+  if (!tracing()) return;
+  g_spans_emitted.fetch_add(1, std::memory_order_relaxed);
+  for (TraceSink* sink : obs_->trace_sinks) sink->OnSpan(span);
+}
+
+void RankTracer::EmitInstant(SpanKind kind, const char* detail) {
+  if (!tracing()) return;
+  SpanRecord span;
+  span.kind = kind;
+  span.rank = rank_;
+  span.pass_k = current_pass_k;
+  span.detail = detail;
+  span.ts_us = NowUs();
+  span.instant = true;
+  Emit(span);
+}
+
+void RankTracer::EmitPassMetrics(const PassMetrics& metrics) {
+  if (obs_ == nullptr) return;
+  for (MetricsSink* sink : obs_->metrics_sinks) {
+    sink->OnPassMetrics(rank_, metrics);
+  }
+}
+
+RankTracer* CurrentTracer() { return t_current_tracer; }
+
+ScopedTracerInstall::ScopedTracerInstall(RankTracer* tracer)
+    : previous_(t_current_tracer) {
+  t_current_tracer = tracer;
+}
+
+ScopedTracerInstall::~ScopedTracerInstall() { t_current_tracer = previous_; }
+
+ScopedSpan::ScopedSpan(SpanKind kind, int pass_k, std::int64_t index,
+                       const char* detail)
+    : tracer_(t_current_tracer), kind_(kind), index_(index), detail_(detail) {
+  if (tracer_ == nullptr || !tracer_->tracing()) {
+    tracer_ = nullptr;  // disabled: no clock read below
+    return;
+  }
+  start_us_ = tracer_->NowUs();
+  if (kind_ == SpanKind::kPass) {
+    restore_pass_k_ = tracer_->current_pass_k;
+    tracer_->current_pass_k = pass_k;
+  }
+}
+
+void ScopedSpan::End() {
+  if (tracer_ == nullptr) return;
+  SpanRecord span;
+  span.kind = kind_;
+  span.rank = tracer_->rank();
+  span.pass_k = tracer_->current_pass_k;
+  span.index = index_;
+  span.detail = detail_;
+  span.ts_us = start_us_;
+  span.dur_us = tracer_->NowUs() - start_us_;
+  tracer_->Emit(span);
+  if (kind_ == SpanKind::kPass) {
+    tracer_->current_pass_k = restore_pass_k_;
+  }
+  tracer_ = nullptr;
+}
+
+void ScopedSpan::Cancel() {
+  if (tracer_ == nullptr) return;
+  if (kind_ == SpanKind::kPass) {
+    tracer_->current_pass_k = restore_pass_k_;
+  }
+  tracer_ = nullptr;
+}
+
+void EmitPassMetrics(const PassMetrics& metrics) {
+  RankTracer* tracer = t_current_tracer;
+  if (tracer != nullptr) tracer->EmitPassMetrics(metrics);
+}
+
+std::uint64_t SpansEmittedTotal() {
+  return g_spans_emitted.load(std::memory_order_relaxed);
+}
+
+void TimelineSink::OnSpan(const SpanRecord& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  timeline_.spans.push_back(span);
+}
+
+Timeline TimelineSink::Take() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Timeline out = std::move(timeline_);
+  timeline_ = Timeline();
+  return out;
+}
+
+}  // namespace pam::obs

@@ -1,6 +1,7 @@
 #include <numeric>
 
 #include "pam/core/apriori_gen.h"
+#include "pam/obs/trace.h"
 #include "pam/parallel/algorithms.h"
 #include "pam/util/timer.h"
 
@@ -24,6 +25,8 @@ RankOutput RunCdRank(const TransactionDatabase& db, Comm& comm,
   const std::size_t cap = config.apriori.max_candidates_in_memory;
 
   {
+    obs::ScopedSpan pass_span(obs::SpanKind::kPass, /*pass_k=*/1, -1,
+                              nullptr);
     WallTimer timer;
     PassMetrics m;
     m.grid_cols = comm.size();
@@ -32,6 +35,7 @@ RankOutput RunCdRank(const TransactionDatabase& db, Comm& comm,
                                          &config, &dhp_buckets);
     parallel_internal::RecordFaultDelta(comm, faults_at_start, &m);
     m.wall_seconds = timer.Seconds();
+    obs::EmitPassMetrics(m);
     out.passes.push_back(m);
     out.frequent.levels.push_back(std::move(f1));
   }
@@ -40,6 +44,7 @@ RankOutput RunCdRank(const TransactionDatabase& db, Comm& comm,
        ++k) {
     const ItemsetCollection& prev = out.frequent.levels.back();
     if (prev.size() < 2) break;
+    obs::ScopedSpan pass_span(obs::SpanKind::kPass, k, -1, nullptr);
     WallTimer timer;
     PassMetrics m;
     m.k = k;
@@ -50,7 +55,10 @@ RankOutput RunCdRank(const TransactionDatabase& db, Comm& comm,
     ItemsetCollection candidates =
         parallel_internal::GenerateCandidates(prev, k, dhp_buckets, minsup);
     const std::size_t num_candidates = candidates.size();
-    if (num_candidates == 0) break;
+    if (num_candidates == 0) {
+      pass_span.Cancel();  // no PassMetrics row, so no pass span either
+      break;
+    }
     m.num_candidates_global = num_candidates;
     m.num_candidates_local = num_candidates;
     m.transactions_processed = slice.size();
@@ -75,12 +83,18 @@ RankOutput RunCdRank(const TransactionDatabase& db, Comm& comm,
         const std::size_t hi = std::min(num_candidates, lo + chunk_cap);
         std::vector<std::uint32_t> ids(hi - lo);
         std::iota(ids.begin(), ids.end(), static_cast<std::uint32_t>(lo));
+        obs::ScopedSpan build_span(obs::SpanKind::kTreeBuild,
+                                   static_cast<std::int64_t>(chunk));
         HashTree tree(candidates, std::move(ids), config.apriori.tree);
         m.tree_build_inserts += tree.build_inserts();
+        build_span.End();
+        obs::ScopedSpan count_span(obs::SpanKind::kSubsetCount,
+                                   static_cast<std::int64_t>(chunk));
         for (std::size_t t = slice.begin; t < slice.end; ++t) {
           tree.Subset(db.Transaction(t), std::span<Count>(counts),
                       &m.subset);
         }
+        count_span.End();
         // Global reduction of this chunk's counts (the paper reduces per
         // hash-tree partition when memory-capped).
         comm.AllReduceSum(
@@ -94,6 +108,7 @@ RankOutput RunCdRank(const TransactionDatabase& db, Comm& comm,
     m.num_frequent_global = candidates.size();
     parallel_internal::RecordFaultDelta(comm, faults_at_start, &m);
     m.wall_seconds = timer.Seconds();
+    obs::EmitPassMetrics(m);
     out.passes.push_back(m);
     if (candidates.empty()) break;
     out.frequent.levels.push_back(std::move(candidates));

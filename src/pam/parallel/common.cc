@@ -5,6 +5,7 @@
 
 #include "pam/core/apriori_gen.h"
 #include "pam/hashtree/pair_counter.h"
+#include "pam/obs/trace.h"
 
 namespace pam {
 namespace parallel_internal {
@@ -56,8 +57,12 @@ bool TryTrianglePass2(const TransactionDatabase& db,
     return false;
   }
   TrianglePairCounter tri(f1);
-  for (std::size_t t = slice.begin; t < slice.end; ++t) {
-    tri.AddTransaction(db.Transaction(t), stats);
+  {
+    obs::ScopedSpan count_span(obs::SpanKind::kSubsetCount, /*index=*/0,
+                               "triangle");
+    for (std::size_t t = slice.begin; t < slice.end; ++t) {
+      tri.AddTransaction(db.Transaction(t), stats);
+    }
   }
   tri.Extract(candidates, counts);
   return true;
@@ -120,6 +125,8 @@ std::uint64_t RingShiftAll(Comm& comm, const std::vector<Page>& local_pages,
   std::uint64_t bytes_sent = 0;
   const std::uint64_t my_pages = local_pages.size();
   for (std::uint64_t round = 0; round < rounds; ++round) {
+    obs::ScopedSpan round_span(obs::SpanKind::kRingRound,
+                               static_cast<std::int64_t>(round));
     // FillBuffer(fd, SBuf): wrap the next local page into a shared
     // payload — the only copy this page ever pays for the whole lap.
     Payload sbuf =

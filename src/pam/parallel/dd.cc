@@ -1,6 +1,7 @@
 #include <cstring>
 
 #include "pam/core/apriori_gen.h"
+#include "pam/obs/trace.h"
 #include "pam/parallel/algorithms.h"
 #include "pam/util/timer.h"
 
@@ -30,6 +31,7 @@ void DdAllToAllMovement(Comm& comm, const std::vector<Page>& local_pages,
     for (const Page& page : local_pages) process(page);
     return;
   }
+  obs::ScopedSpan exchange_span(obs::SpanKind::kAllToAll, -1, "dd_pages");
 
   // One log-P sum-reduction tells every rank the global page total; its
   // remote expectation is the total minus its own contribution.
@@ -83,6 +85,8 @@ RankOutput RunDdRank(const TransactionDatabase& db, Comm& comm,
   std::vector<Count> dhp_buckets;  // PDM-style DHP filter state (optional)
 
   {
+    obs::ScopedSpan pass_span(obs::SpanKind::kPass, /*pass_k=*/1, -1,
+                              nullptr);
     WallTimer timer;
     PassMetrics m;
     const CommFaultStats faults_at_start = comm.MyFaultStats();
@@ -90,6 +94,7 @@ RankOutput RunDdRank(const TransactionDatabase& db, Comm& comm,
                                          &config, &dhp_buckets);
     parallel_internal::RecordFaultDelta(comm, faults_at_start, &m);
     m.wall_seconds = timer.Seconds();
+    obs::EmitPassMetrics(m);
     out.passes.push_back(m);
     out.frequent.levels.push_back(std::move(f1));
   }
@@ -98,6 +103,7 @@ RankOutput RunDdRank(const TransactionDatabase& db, Comm& comm,
        ++k) {
     const ItemsetCollection& prev = out.frequent.levels.back();
     if (prev.size() < 2) break;
+    obs::ScopedSpan pass_span(obs::SpanKind::kPass, k, -1, nullptr);
     WallTimer timer;
     PassMetrics m;
     m.k = k;
@@ -109,7 +115,10 @@ RankOutput RunDdRank(const TransactionDatabase& db, Comm& comm,
     // round-robin share in its hash tree.
     ItemsetCollection candidates =
         parallel_internal::GenerateCandidates(prev, k, dhp_buckets, minsup);
-    if (candidates.empty()) break;
+    if (candidates.empty()) {
+      pass_span.Cancel();  // no PassMetrics row, so no pass span either
+      break;
+    }
     m.num_candidates_global = candidates.size();
     CandidatePartition partition =
         PartitionRoundRobin(candidates.size(), p);
@@ -117,11 +126,15 @@ RankOutput RunDdRank(const TransactionDatabase& db, Comm& comm,
         partition.ids_per_part[static_cast<std::size_t>(rank)];
     m.num_candidates_local = my_ids.size();
 
+    obs::ScopedSpan build_span(obs::SpanKind::kTreeBuild);
     HashTree tree(candidates, my_ids, config.apriori.tree);
     m.tree_build_inserts = tree.build_inserts();
+    build_span.End();
 
     std::vector<Count> counts(candidates.size(), 0);
+    std::int64_t page_index = 0;
     auto process = [&](PageView page) {
+      obs::ScopedSpan count_span(obs::SpanKind::kSubsetCount, page_index++);
       ForEachTransaction(page, [&](ItemSpan tx) {
         tree.Subset(tx, std::span<Count>(counts), &m.subset);
         ++m.transactions_processed;
@@ -146,6 +159,7 @@ RankOutput RunDdRank(const TransactionDatabase& db, Comm& comm,
     m.num_frequent_global = frequent.size();
     parallel_internal::RecordFaultDelta(comm, faults_at_start, &m);
     m.wall_seconds = timer.Seconds();
+    obs::EmitPassMetrics(m);
     out.passes.push_back(m);
     if (frequent.empty()) break;
     out.frequent.levels.push_back(std::move(frequent));

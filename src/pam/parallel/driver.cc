@@ -29,12 +29,26 @@ std::string AlgorithmName(Algorithm algorithm) {
 ParallelResult MineParallel(Algorithm algorithm,
                             const TransactionDatabase& db, int num_ranks,
                             const ParallelConfig& config) {
+  return MineParallelObserved(algorithm, db, num_ranks, config,
+                              /*observers=*/nullptr);
+}
+
+ParallelResult MineParallelObserved(Algorithm algorithm,
+                                    const TransactionDatabase& db,
+                                    int num_ranks,
+                                    const ParallelConfig& config,
+                                    obs::SessionObs* observers) {
   WallTimer timer;
   Runtime runtime(num_ranks);
   runtime.SetFaultConfig(config.fault);
   std::vector<RankOutput> outputs(static_cast<std::size_t>(num_ranks));
 
   runtime.Run([&](Comm& comm) {
+    // Give this rank's thread its span/metrics emitter (a null observer
+    // set disables it). Everything the rank does below — formulation
+    // code, ring pipeline, collectives — reaches it thread-locally.
+    obs::RankTracer tracer(observers, comm.rank());
+    obs::ScopedTracerInstall install(&tracer);
     RankOutput out;
     switch (algorithm) {
       case Algorithm::kCD:

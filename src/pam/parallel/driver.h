@@ -1,6 +1,7 @@
 #ifndef PAM_PARALLEL_DRIVER_H_
 #define PAM_PARALLEL_DRIVER_H_
 
+#include "pam/obs/trace.h"
 #include "pam/parallel/algorithms.h"
 #include "pam/parallel/metrics.h"
 #include "pam/tdb/database.h"
@@ -26,9 +27,25 @@ struct ParallelResult {
 /// schedule: it either completes with the exact same frequent itemsets
 /// (recoverable faults are repaired by the communicator) or throws a
 /// CommError — never returns silently wrong counts.
+/// Thin wrapper over MineParallelObserved with observers disabled. New
+/// code should prefer the MiningSession facade in pam/api/session.h,
+/// which fronts both this and the serial miner and can attach trace and
+/// metrics sinks.
 ParallelResult MineParallel(Algorithm algorithm,
                             const TransactionDatabase& db, int num_ranks,
                             const ParallelConfig& config);
+
+/// MineParallel with observer wiring: when `observers` is non-null, each
+/// rank thread installs a RankTracer for it, so the formulations' span
+/// emission (pass / tree build / ring round / collective / subset count)
+/// and per-pass metrics streaming reach the session's sinks. A null
+/// `observers` is the exact zero-overhead path of MineParallel. Driven by
+/// MiningSession; callers outside the api layer should not need it.
+ParallelResult MineParallelObserved(Algorithm algorithm,
+                                    const TransactionDatabase& db,
+                                    int num_ranks,
+                                    const ParallelConfig& config,
+                                    obs::SessionObs* observers);
 
 }  // namespace pam
 

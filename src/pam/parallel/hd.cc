@@ -1,4 +1,5 @@
 #include "pam/core/apriori_gen.h"
+#include "pam/obs/trace.h"
 #include "pam/parallel/algorithms.h"
 #include "pam/util/timer.h"
 
@@ -26,6 +27,8 @@ RankOutput RunHdRank(const TransactionDatabase& db, Comm& comm,
   std::vector<Count> dhp_buckets;  // PDM-style DHP filter state (optional)
 
   {
+    obs::ScopedSpan pass_span(obs::SpanKind::kPass, /*pass_k=*/1, -1,
+                              nullptr);
     WallTimer timer;
     PassMetrics m;
     const CommFaultStats faults_at_start = comm.MyFaultStats();
@@ -33,6 +36,7 @@ RankOutput RunHdRank(const TransactionDatabase& db, Comm& comm,
                                          &config, &dhp_buckets);
     parallel_internal::RecordFaultDelta(comm, faults_at_start, &m);
     m.wall_seconds = timer.Seconds();
+    obs::EmitPassMetrics(m);
     out.passes.push_back(m);
     out.frequent.levels.push_back(std::move(f1));
   }
@@ -41,6 +45,7 @@ RankOutput RunHdRank(const TransactionDatabase& db, Comm& comm,
        ++k) {
     const ItemsetCollection& prev = out.frequent.levels.back();
     if (prev.size() < 2) break;
+    obs::ScopedSpan pass_span(obs::SpanKind::kPass, k, -1, nullptr);
     WallTimer timer;
     PassMetrics m;
     m.k = k;
@@ -49,7 +54,10 @@ RankOutput RunHdRank(const TransactionDatabase& db, Comm& comm,
 
     ItemsetCollection candidates =
         parallel_internal::GenerateCandidates(prev, k, dhp_buckets, minsup);
-    if (candidates.empty()) break;
+    if (candidates.empty()) {
+      pass_span.Cancel();  // no PassMetrics row, so no pass span either
+      break;
+    }
     m.num_candidates_global = candidates.size();
 
     // Dynamic grid configuration (Table II), unless pinned by the caller.
@@ -90,8 +98,10 @@ RankOutput RunHdRank(const TransactionDatabase& db, Comm& comm,
         partition.ids_per_part[static_cast<std::size_t>(my_row)];
     m.num_candidates_local = my_ids.size();
 
+    obs::ScopedSpan build_span(obs::SpanKind::kTreeBuild);
     HashTree tree(candidates, my_ids, config.apriori.tree);
     m.tree_build_inserts = tree.build_inserts();
+    build_span.End();
     const Bitmap* filter =
         config.idd_use_bitmap
             ? &partition.first_item_filter[static_cast<std::size_t>(my_row)]
@@ -100,7 +110,9 @@ RankOutput RunHdRank(const TransactionDatabase& db, Comm& comm,
     // Step 1: IDD within the column — each rank sees the G * N/P
     // transactions of its column.
     std::vector<Count> counts(candidates.size(), 0);
+    std::int64_t page_index = 0;
     auto process = [&](PageView page) {
+      obs::ScopedSpan count_span(obs::SpanKind::kSubsetCount, page_index++);
       ForEachTransaction(page, [&](ItemSpan tx) {
         tree.Subset(tx, std::span<Count>(counts), &m.subset, filter);
         ++m.transactions_processed;
@@ -135,6 +147,7 @@ RankOutput RunHdRank(const TransactionDatabase& db, Comm& comm,
     m.num_frequent_global = frequent.size();
     parallel_internal::RecordFaultDelta(comm, faults_at_start, &m);
     m.wall_seconds = timer.Seconds();
+    obs::EmitPassMetrics(m);
     out.passes.push_back(m);
     if (frequent.empty()) break;
     out.frequent.levels.push_back(std::move(frequent));

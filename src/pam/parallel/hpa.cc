@@ -1,6 +1,7 @@
 #include <cstring>
 
 #include "pam/core/apriori_gen.h"
+#include "pam/obs/trace.h"
 #include "pam/parallel/algorithms.h"
 #include "pam/util/timer.h"
 
@@ -155,6 +156,8 @@ RankOutput RunHpaRank(const TransactionDatabase& db, Comm& comm,
   std::vector<Count> dhp_buckets;  // PDM-style DHP filter state (optional)
 
   {
+    obs::ScopedSpan pass_span(obs::SpanKind::kPass, /*pass_k=*/1, -1,
+                              nullptr);
     WallTimer timer;
     PassMetrics m;
     const CommFaultStats faults_at_start = comm.MyFaultStats();
@@ -162,6 +165,7 @@ RankOutput RunHpaRank(const TransactionDatabase& db, Comm& comm,
                                          &config, &dhp_buckets);
     parallel_internal::RecordFaultDelta(comm, faults_at_start, &m);
     m.wall_seconds = timer.Seconds();
+    obs::EmitPassMetrics(m);
     out.passes.push_back(m);
     out.frequent.levels.push_back(std::move(f1));
   }
@@ -170,6 +174,7 @@ RankOutput RunHpaRank(const TransactionDatabase& db, Comm& comm,
        ++k) {
     const ItemsetCollection& prev = out.frequent.levels.back();
     if (prev.size() < 2) break;
+    obs::ScopedSpan pass_span(obs::SpanKind::kPass, k, -1, nullptr);
     WallTimer timer;
     PassMetrics m;
     m.k = k;
@@ -179,7 +184,10 @@ RankOutput RunHpaRank(const TransactionDatabase& db, Comm& comm,
 
     ItemsetCollection candidates =
         parallel_internal::GenerateCandidates(prev, k, dhp_buckets, minsup);
-    if (candidates.empty()) break;
+    if (candidates.empty()) {
+      pass_span.Cancel();  // no PassMetrics row, so no pass span either
+      break;
+    }
     m.num_candidates_global = candidates.size();
 
     // Hash ownership; the collection stays sorted so owners can probe
@@ -204,11 +212,18 @@ RankOutput RunHpaRank(const TransactionDatabase& db, Comm& comm,
           if (idx != ItemsetCollection::npos) ++counts[idx];
         },
         &m);
-    for (std::size_t t = slice.begin; t < slice.end; ++t) {
-      router.RouteTransaction(db.Transaction(t));
-      ++m.transactions_processed;
+    {
+      // The routing loop and the closing drain are HPA's all-to-all: the
+      // potential candidates themselves move, interleaved with local
+      // probes.
+      obs::ScopedSpan exchange_span(obs::SpanKind::kAllToAll, -1,
+                                    "hpa_subsets");
+      for (std::size_t t = slice.begin; t < slice.end; ++t) {
+        router.RouteTransaction(db.Transaction(t));
+        ++m.transactions_processed;
+      }
+      router.Finish();
     }
-    router.Finish();
     comm.Barrier();
     m.subset.transactions = m.transactions_processed;
 
@@ -220,6 +235,7 @@ RankOutput RunHpaRank(const TransactionDatabase& db, Comm& comm,
     m.num_frequent_global = frequent.size();
     parallel_internal::RecordFaultDelta(comm, faults_at_start, &m);
     m.wall_seconds = timer.Seconds();
+    obs::EmitPassMetrics(m);
     out.passes.push_back(m);
     if (frequent.empty()) break;
     out.frequent.levels.push_back(std::move(frequent));

@@ -1,6 +1,31 @@
 #include "pam/parallel/metrics.h"
 
 namespace pam {
+namespace {
+
+/// Sums `field(m)` over the ranks of one pass.
+template <typename Projection>
+std::uint64_t SumOverPass(const RunMetrics& metrics, int pass_index,
+                          Projection field) {
+  std::uint64_t total = 0;
+  for (const PassMetrics& m :
+       metrics.per_pass[static_cast<std::size_t>(pass_index)]) {
+    total += field(m);
+  }
+  return total;
+}
+
+/// Sums `field(m)` over every pass and rank of the run.
+template <typename Projection>
+std::uint64_t SumOverRun(const RunMetrics& metrics, Projection field) {
+  std::uint64_t total = 0;
+  for (int pass = 0; pass < metrics.num_passes(); ++pass) {
+    total += SumOverPass(metrics, pass, field);
+  }
+  return total;
+}
+
+}  // namespace
 
 LoadSummary RunMetrics::SubsetWorkBalance(int pass_index) const {
   std::vector<double> work;
@@ -13,54 +38,35 @@ LoadSummary RunMetrics::SubsetWorkBalance(int pass_index) const {
 }
 
 std::uint64_t RunMetrics::TotalDataBytes(int pass_index) const {
-  std::uint64_t total = 0;
-  for (const PassMetrics& m :
-       per_pass[static_cast<std::size_t>(pass_index)]) {
-    total += m.data_bytes_sent;
-  }
-  return total;
+  return SumOverPass(*this, pass_index,
+                     [](const PassMetrics& m) { return m.data_bytes_sent; });
 }
 
 std::uint64_t RunMetrics::TotalLeafVisits(int pass_index) const {
-  std::uint64_t total = 0;
-  for (const PassMetrics& m :
-       per_pass[static_cast<std::size_t>(pass_index)]) {
-    total += m.subset.distinct_leaf_visits;
-  }
-  return total;
+  return SumOverPass(*this, pass_index, [](const PassMetrics& m) {
+    return m.subset.distinct_leaf_visits;
+  });
 }
 
 std::uint64_t RunMetrics::TotalTransactionsProcessed(int pass_index) const {
-  std::uint64_t total = 0;
-  for (const PassMetrics& m :
-       per_pass[static_cast<std::size_t>(pass_index)]) {
-    total += m.transactions_processed;
-  }
-  return total;
+  return SumOverPass(*this, pass_index, [](const PassMetrics& m) {
+    return m.transactions_processed;
+  });
 }
 
 std::uint64_t RunMetrics::TotalFaultsInjected() const {
-  std::uint64_t total = 0;
-  for (const auto& pass : per_pass) {
-    for (const PassMetrics& m : pass) total += m.comm_faults_injected;
-  }
-  return total;
+  return SumOverRun(
+      *this, [](const PassMetrics& m) { return m.comm_faults_injected; });
 }
 
 std::uint64_t RunMetrics::TotalCommRetries() const {
-  std::uint64_t total = 0;
-  for (const auto& pass : per_pass) {
-    for (const PassMetrics& m : pass) total += m.comm_retries;
-  }
-  return total;
+  return SumOverRun(*this,
+                    [](const PassMetrics& m) { return m.comm_retries; });
 }
 
 std::uint64_t RunMetrics::TotalFaultsDetected() const {
-  std::uint64_t total = 0;
-  for (const auto& pass : per_pass) {
-    for (const PassMetrics& m : pass) total += m.comm_faults_detected;
-  }
-  return total;
+  return SumOverRun(
+      *this, [](const PassMetrics& m) { return m.comm_faults_detected; });
 }
 
 SubsetStats RunMetrics::PassSubsetStats(int pass_index) const {

@@ -133,7 +133,8 @@ TEST(SerialAprioriTest, SliceRestrictsMining) {
   db.Add({3, 4});
   AprioriConfig cfg;
   cfg.minsup_count = 2;
-  SerialResult first_half = MineSerial(db, {0, 2}, cfg);
+  SerialResult first_half =
+      MineSerial(db, cfg, TransactionDatabase::Slice{0, 2});
   std::vector<Item> s12 = {1, 2};
   std::vector<Item> s34 = {3, 4};
   EXPECT_TRUE(first_half.frequent.Lookup(ItemSpan(s12.data(), 2), nullptr));

@@ -3,11 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include "pam/api/session.h"
 #include "pam/core/rulegen.h"
 #include "pam/core/serial_apriori.h"
 #include "pam/datagen/quest_gen.h"
 #include "pam/model/cost_model.h"
-#include "pam/parallel/driver.h"
 #include "pam/tdb/io.h"
 #include "testing/test_support.h"
 
@@ -38,7 +38,7 @@ TEST(EndToEndTest, GenerateStoreMineRules) {
   ParallelConfig cfg;
   cfg.apriori.minsup_fraction = 0.015;
   cfg.hd_threshold_m = 200;
-  ParallelResult result = MineParallel(Algorithm::kHD, db, 6, cfg);
+  MiningReport result = testing::SessionMine(Algorithm::kHD, db, 6, cfg);
   ASSERT_GT(result.frequent.TotalCount(), 0u);
   testing::ExpectMatchesSerial(
       result, testing::SerialReference(db, cfg.apriori), "HD P=6 e2e");
@@ -88,7 +88,7 @@ TEST(EndToEndTest, ModeledResponseTimesFollowPaperOrdering) {
   std::map<Algorithm, double> seconds;
   for (Algorithm alg : {Algorithm::kCD, Algorithm::kDD, Algorithm::kDDComm,
                         Algorithm::kIDD, Algorithm::kHD}) {
-    ParallelResult r = MineParallel(alg, db, p, cfg);
+    MiningReport r = testing::SessionMine(alg, db, p, cfg);
     seconds[alg] = model.RunTime(alg, r.metrics);
   }
   EXPECT_GT(seconds[Algorithm::kDD], seconds[Algorithm::kDDComm]);
@@ -114,7 +114,7 @@ TEST(EndToEndTest, CdAndHdScaleupRoughlyFlat) {
     cfg.apriori.minsup_fraction = 0.02;
     cfg.hd_threshold_m = 100;
     for (Algorithm alg : {Algorithm::kCD, Algorithm::kHD}) {
-      ParallelResult r = MineParallel(alg, db, p, cfg);
+      MiningReport r = testing::SessionMine(alg, db, p, cfg);
       t[p][alg] = model.RunTime(alg, r.metrics);
     }
   }

@@ -6,9 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include "pam/api/session.h"
 #include "pam/core/serial_apriori.h"
 #include "pam/datagen/quest_gen.h"
-#include "pam/parallel/driver.h"
 
 namespace pam {
 namespace {
@@ -70,7 +70,12 @@ TEST(GoldenTest, EveryFormulationReproducesTheGoldenCounts) {
   const Golden golden = CaptureActual();
   for (Algorithm alg : {Algorithm::kCD, Algorithm::kDD, Algorithm::kDDComm,
                         Algorithm::kIDD, Algorithm::kHD, Algorithm::kHPA}) {
-    ParallelResult result = MineParallel(alg, db, 3, cfg);
+    MiningRequest request;
+    request.algorithm = FromParallelAlgorithm(alg);
+    request.num_ranks = 3;
+    request.config = cfg;
+    MiningSession session;
+    MiningReport result = session.Run(request, db);
     std::vector<std::size_t> counts;
     for (const auto& level : result.frequent.levels) {
       counts.push_back(level.size());

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "pam/api/session.h"
 #include "pam/core/serial_apriori.h"
 #include "pam/datagen/quest_gen.h"
 #include "pam/parallel/driver.h"
@@ -67,14 +68,30 @@ inline std::map<std::vector<Item>, Count> SerialReference(
   return Flatten(MineSerial(db, cfg).frequent);
 }
 
-/// Asserts a parallel result matches the serial reference byte-for-byte
-/// (same itemsets, same counts). `label` names the configuration under
-/// test in failure output.
-inline void ExpectMatchesSerial(
-    const ParallelResult& parallel,
+/// Asserts a mining result (ParallelResult or MiningReport — anything with
+/// a `frequent` member) matches the serial reference byte-for-byte (same
+/// itemsets, same counts). `label` names the configuration under test in
+/// failure output.
+template <typename MiningResult>
+void ExpectMatchesSerial(
+    const MiningResult& mined,
     const std::map<std::vector<Item>, Count>& serial_flat,
     const std::string& label) {
-  EXPECT_EQ(Flatten(parallel.frequent), serial_flat) << label;
+  EXPECT_EQ(Flatten(mined.frequent), serial_flat) << label;
+}
+
+/// Runs one parallel formulation through the public MiningSession facade
+/// with no observers attached — the integration tests exercise the same
+/// entry point the tools and benches use.
+inline MiningReport SessionMine(Algorithm algorithm,
+                                const TransactionDatabase& db, int num_ranks,
+                                const ParallelConfig& config) {
+  MiningRequest request;
+  request.algorithm = FromParallelAlgorithm(algorithm);
+  request.num_ranks = num_ranks;
+  request.config = config;
+  MiningSession session;
+  return session.Run(request, db);
 }
 
 }  // namespace pam::testing

@@ -12,18 +12,17 @@
 #include <cstring>
 #include <string>
 
+#include "pam/api/session.h"
 #include "pam/core/itemsets_io.h"
 #include "pam/core/maximal.h"
-#include "pam/core/rulegen.h"
-#include "pam/core/serial_apriori.h"
 #include "pam/model/cost_model.h"
 #include "pam/model/explain.h"
 #include "pam/mp/fault.h"
-#include "pam/parallel/driver.h"
+#include "pam/obs/chrome_trace.h"
+#include "pam/obs/json_metrics.h"
 #include "pam/tdb/db_stats.h"
 #include "pam/tdb/io.h"
 #include "pam/util/flags.h"
-#include "pam/util/timer.h"
 
 namespace {
 
@@ -52,6 +51,10 @@ constexpr const char* kUsage = R"(usage: pam_mine [flags]
   --fault-seed S     fault schedule seed (default 1; same seed = same faults)
   --fault-retries N  retransmit budget per message (default 3)
   --fault-timeout MS receive deadline in ms under faults (default 5000)
+  --trace-out F      write a chrome://tracing span timeline of the run to F
+                     (Trace Event Format JSON; one track per rank)
+  --metrics-out F    write the per-pass, per-rank work/traffic counters of
+                     the run to F as JSON
 )";
 
 bool ParseFaultKind(const std::string& name, pam::FaultKind* out) {
@@ -61,17 +64,6 @@ bool ParseFaultKind(const std::string& name, pam::FaultKind* out) {
   else if (name == "drop") *out = pam::FaultKind::kDrop;
   else if (name == "reorder") *out = pam::FaultKind::kReorder;
   else if (name == "stall") *out = pam::FaultKind::kStall;
-  else return false;
-  return true;
-}
-
-bool ParseAlgorithm(const std::string& name, pam::Algorithm* out) {
-  if (name == "cd") *out = pam::Algorithm::kCD;
-  else if (name == "dd") *out = pam::Algorithm::kDD;
-  else if (name == "ddcomm") *out = pam::Algorithm::kDDComm;
-  else if (name == "idd") *out = pam::Algorithm::kIDD;
-  else if (name == "hd") *out = pam::Algorithm::kHD;
-  else if (name == "hpa") *out = pam::Algorithm::kHPA;
   else return false;
   return true;
 }
@@ -113,7 +105,7 @@ int main(int argc, char** argv) {
       "ranks",   "rules",   "top",     "max-k",         "hd-threshold",
       "machine", "explain", "stats",   "maximal",       "save-itemsets",
       "dhp",     "help",    "fault-kind", "fault-rate",  "fault-seed",
-      "fault-retries", "fault-timeout"};
+      "fault-retries", "fault-timeout", "trace-out", "metrics-out"};
   for (const std::string& f : flags.UnknownFlags(known)) {
     std::fprintf(stderr, "error: unknown flag --%s\n%s", f.c_str(), kUsage);
     return 2;
@@ -172,63 +164,91 @@ int main(int argc, char** argv) {
 
   const std::string algorithm_name =
       flags.GetString("algorithm", "serial");
-  pam::WallTimer timer;
-  pam::FrequentItemsets frequent;
-  if (algorithm_name == "serial") {
-    pam::SerialResult result = pam::MineSerial(db, config.apriori);
-    frequent = std::move(result.frequent);
-    std::printf("mined serially in %.2fs (minsup count %llu)\n",
-                timer.Seconds(),
-                static_cast<unsigned long long>(result.minsup_count));
+  pam::MiningRequest request;
+  if (!pam::ParseMiningAlgorithm(algorithm_name, &request.algorithm)) {
+    std::fprintf(stderr, "error: unknown algorithm '%s'\n%s",
+                 algorithm_name.c_str(), kUsage);
+    return 2;
+  }
+  request.num_ranks = static_cast<int>(flags.GetInt("ranks", 4));
+  request.config = config;
+  request.generate_rules = flags.GetBool("rules", false);
+  request.min_confidence = flags.GetDouble("minconf", 50.0) / 100.0;
+
+  pam::MiningSession session;
+  pam::obs::ChromeTraceWriter trace_writer;
+  pam::obs::JsonMetricsWriter metrics_writer;
+  if (flags.Has("trace-out")) session.AddTraceSink(&trace_writer);
+  if (flags.Has("metrics-out")) session.AddMetricsSink(&metrics_writer);
+
+  pam::MiningReport report;
+  try {
+    report = session.Run(request, db);
+  } catch (const pam::CommError& e) {
+    std::fprintf(stderr,
+                 "error: transport failure: kind=%s rank=%d peer=%d "
+                 "tag=%d\n  %s\n",
+                 pam::CommErrorKindName(e.kind()), e.rank(), e.peer(),
+                 e.tag(), e.what());
+    return 1;
+  }
+  pam::FrequentItemsets frequent = std::move(report.frequent);
+  if (pam::IsParallel(request.algorithm)) {
+    std::printf("mined with %s on %d logical ranks in %.2fs wall\n",
+                pam::MiningAlgorithmName(request.algorithm).c_str(),
+                request.num_ranks, report.wall_seconds);
   } else {
-    pam::Algorithm algorithm;
-    if (!ParseAlgorithm(algorithm_name, &algorithm)) {
-      std::fprintf(stderr, "error: unknown algorithm '%s'\n%s",
-                   algorithm_name.c_str(), kUsage);
-      return 2;
+    std::printf("mined serially in %.2fs (minsup count %llu)\n",
+                report.wall_seconds,
+                static_cast<unsigned long long>(report.minsup_count));
+  }
+  if (config.fault.enabled && pam::IsParallel(request.algorithm)) {
+    std::printf("fault injection: %llu injected, %llu retransmits, "
+                "%llu bad envelopes discarded (result verified exact by "
+                "framing)\n",
+                static_cast<unsigned long long>(
+                    report.metrics.TotalFaultsInjected()),
+                static_cast<unsigned long long>(
+                    report.metrics.TotalCommRetries()),
+                static_cast<unsigned long long>(
+                    report.metrics.TotalFaultsDetected()));
+  }
+  if (flags.Has("machine") && pam::IsParallel(request.algorithm)) {
+    const pam::Algorithm algorithm =
+        pam::ToParallelAlgorithm(request.algorithm);
+    const std::string machine = flags.GetString("machine", "t3e");
+    const pam::CostModel model(machine == "sp2"
+                                   ? pam::MachineModel::IbmSp2()
+                                   : pam::MachineModel::CrayT3E());
+    if (flags.GetBool("explain", false)) {
+      std::printf("%s", pam::ExplainRun(model, algorithm,
+                                        report.metrics)
+                            .c_str());
+    } else {
+      std::printf("modeled %s response time: %.3fs\n",
+                  model.machine().name.c_str(),
+                  model.RunTime(algorithm, report.metrics));
     }
-    const int ranks = static_cast<int>(flags.GetInt("ranks", 4));
-    pam::ParallelResult result;
-    try {
-      result = pam::MineParallel(algorithm, db, ranks, config);
-    } catch (const pam::CommError& e) {
-      std::fprintf(stderr,
-                   "error: transport failure: kind=%s rank=%d peer=%d "
-                   "tag=%d\n  %s\n",
-                   pam::CommErrorKindName(e.kind()), e.rank(), e.peer(),
-                   e.tag(), e.what());
+  }
+
+  if (flags.Has("trace-out")) {
+    const std::string out_path = flags.GetString("trace-out", "");
+    const pam::Status status = trace_writer.WriteFile(out_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.message().c_str());
       return 1;
     }
-    frequent = std::move(result.frequent);
-    std::printf("mined with %s on %d logical ranks in %.2fs wall\n",
-                pam::AlgorithmName(algorithm).c_str(), ranks,
-                timer.Seconds());
-    if (config.fault.enabled) {
-      std::printf("fault injection: %llu injected, %llu retransmits, "
-                  "%llu bad envelopes discarded (result verified exact by "
-                  "framing)\n",
-                  static_cast<unsigned long long>(
-                      result.metrics.TotalFaultsInjected()),
-                  static_cast<unsigned long long>(
-                      result.metrics.TotalCommRetries()),
-                  static_cast<unsigned long long>(
-                      result.metrics.TotalFaultsDetected()));
+    std::printf("wrote %zu trace events to %s (open in chrome://tracing)\n",
+                trace_writer.size(), out_path.c_str());
+  }
+  if (flags.Has("metrics-out")) {
+    const std::string out_path = flags.GetString("metrics-out", "");
+    const pam::Status status = metrics_writer.WriteFile(out_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.message().c_str());
+      return 1;
     }
-    if (flags.Has("machine")) {
-      const std::string machine = flags.GetString("machine", "t3e");
-      const pam::CostModel model(machine == "sp2"
-                                     ? pam::MachineModel::IbmSp2()
-                                     : pam::MachineModel::CrayT3E());
-      if (flags.GetBool("explain", false)) {
-        std::printf("%s", pam::ExplainRun(model, algorithm,
-                                          result.metrics)
-                              .c_str());
-      } else {
-        std::printf("modeled %s response time: %.3fs\n",
-                    model.machine().name.c_str(),
-                    model.RunTime(algorithm, result.metrics));
-      }
-    }
+    std::printf("wrote run metrics to %s\n", out_path.c_str());
   }
 
   if (flags.Has("save-itemsets")) {
@@ -250,14 +270,11 @@ int main(int argc, char** argv) {
     PrintItemsets(frequent, db.size(), top);
   }
 
-  if (flags.GetBool("rules", false)) {
-    const double minconf = flags.GetDouble("minconf", 50.0) / 100.0;
-    std::vector<pam::Rule> rules =
-        pam::GenerateRules(frequent, db.size(), minconf);
-    std::printf("\nrules at %.0f%% confidence: %zu\n", minconf * 100.0,
-                rules.size());
-    for (std::size_t i = 0; i < rules.size() && i < top; ++i) {
-      std::printf("  %s\n", rules[i].ToString().c_str());
+  if (request.generate_rules) {
+    std::printf("\nrules at %.0f%% confidence: %zu\n",
+                request.min_confidence * 100.0, report.rules.size());
+    for (std::size_t i = 0; i < report.rules.size() && i < top; ++i) {
+      std::printf("  %s\n", report.rules[i].ToString().c_str());
     }
   }
   return 0;
