@@ -11,6 +11,7 @@
 // paper.
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.h"
 #include "pam/core/serial_apriori.h"
@@ -29,6 +30,12 @@ int main() {
   base.apriori.max_k = 3;
   base.apriori.tree = bench::BenchTreeConfig();
   base.apriori.use_pass2_triangle = false;  // instrument pass 2 via the tree
+  // PAM_THREADS_PER_RANK=T adds the intra-rank counting team (wall-clock
+  // only; the T3E cost model charges the single-threaded work terms).
+  if (const char* env = std::getenv("PAM_THREADS_PER_RANK")) {
+    const int t = std::atoi(env);
+    if (t > 0) base.apriori.threads_per_rank = t;
+  }
 
   const CostModel model(MachineModel::CrayT3E());
 

@@ -3,16 +3,23 @@
 // at scale 1.0). Runs the classic recursive pointer-chasing traversal and
 // the flat structure-of-arrays kernel over identical trees, verifies the
 // counts and SubsetStats are bit-identical, times the specialized
-// triangular pass-2 counter against both, and writes the measurements to
-// BENCH_kernel.json. Exits non-zero on any count/stats mismatch.
+// triangular pass-2 counter against both, sweeps the intra-rank counting
+// team over {1, 2, 4, 8} threads (counts re-verified at every size), and
+// writes the measurements to BENCH_kernel.json — including the host core
+// count, without which the thread-sweep numbers cannot be interpreted.
+// Exits non-zero on any count/stats mismatch.
 
 #include <cinttypes>
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
 #include "pam/core/apriori_gen.h"
+#include "pam/core/count_team.h"
+#include "pam/hashtree/counting_pool.h"
 #include "pam/hashtree/hash_tree.h"
 #include "pam/hashtree/pair_counter.h"
 #include "pam/util/timer.h"
@@ -86,7 +93,62 @@ struct PassReport {
   double triangle_seconds = -1.0;  // < 0 when the pass has no triangle path
   bool counts_identical = false;
   bool stats_identical = false;
+  /// Counting-team sweep over the flat kernel: (threads, best seconds).
+  std::vector<std::pair<int, double>> team;
+  /// Same sweep for the pass-2 triangle team (k == 2 only).
+  std::vector<std::pair<int, double>> triangle_team;
 };
+
+constexpr int kTeamSizes[] = {1, 2, 4, 8};
+
+// Times the intra-rank counting team at one size over the flat tree; the
+// merged counts and stats must match the single-threaded flat kernel.
+double RunTeamKernel(const TransactionDatabase& db,
+                     const ItemsetCollection& candidates, int threads,
+                     int reps, const KernelRun& expect, bool* ok) {
+  HashTreeConfig shape =
+      HashTreeConfig::TunedFor(candidates.size(), candidates.k(), 8);
+  HashTree tree(candidates, shape);
+  CountingPool pool(threads);
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<Count> counts(candidates.size(), 0);
+    SubsetStats stats;
+    WallTimer timer;
+    TeamCounter team(&pool, &tree, std::span<Count>(counts), &stats);
+    team.CountSlice(db, {0, db.size()});
+    team.Finish();
+    const double s = timer.Seconds();
+    if (rep == 0 || s < best) best = s;
+    if (rep == 0) {
+      *ok = *ok && counts == expect.counts && SameStats(stats, expect.stats);
+    }
+  }
+  return best;
+}
+
+// Times the pass-2 triangle team at one size; counts must match the flat
+// kernel's.
+double RunTriangleTeam(const TransactionDatabase& db,
+                       const ItemsetCollection& f_prev,
+                       const ItemsetCollection& candidates, int threads,
+                       int reps, const std::vector<Count>& expect, bool* ok) {
+  CountingPool pool(threads);
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    TrianglePairCounter tri(f_prev);
+    std::vector<Count> counts(candidates.size(), 0);
+    WallTimer timer;
+    TriangleTeam team(&pool, &tri, nullptr);
+    team.CountSlice(db, {0, db.size()});
+    team.Finish();
+    tri.Extract(candidates, std::span<Count>(counts));
+    const double s = timer.Seconds();
+    if (rep == 0 || s < best) best = s;
+    if (rep == 0) *ok = *ok && counts == expect;
+  }
+  return best;
+}
 
 // Compares both tree kernels (and, at k == 2, the triangular counter) on
 // one candidate set. Returns the frequent survivors for the next pass.
@@ -125,6 +187,21 @@ PassReport ComparePass(const TransactionDatabase& db,
     }
     r.triangle_seconds = tri_best;
     r.counts_identical = r.counts_identical && tri_counts == flat.counts;
+    for (const int threads : kTeamSizes) {
+      bool ok = true;
+      const double s = RunTriangleTeam(db, f_prev, candidates, threads,
+                                       reps, flat.counts, &ok);
+      r.triangle_team.emplace_back(threads, s);
+      r.counts_identical = r.counts_identical && ok;
+    }
+  }
+
+  for (const int threads : kTeamSizes) {
+    bool ok = true;
+    const double s = RunTeamKernel(db, candidates, threads, reps, flat, &ok);
+    r.team.emplace_back(threads, s);
+    r.counts_identical = r.counts_identical && ok;
+    r.stats_identical = r.stats_identical && ok;
   }
 
   if (frequent_out != nullptr) {
@@ -151,9 +228,34 @@ void PrintPass(const PassReport& r, std::size_t n) {
                 static_cast<double>(n) / r.triangle_seconds,
                 r.classic_seconds / r.triangle_seconds);
   }
+  for (const auto& [threads, seconds] : r.team) {
+    std::printf("  team x%-2d %8.3f s  (%10.0f tx/s)  vs 1-thread %.2fx\n",
+                threads, seconds, static_cast<double>(n) / seconds,
+                r.team.front().second / seconds);
+  }
+  for (const auto& [threads, seconds] : r.triangle_team) {
+    std::printf("  tri  x%-2d %8.3f s  (%10.0f tx/s)  vs 1-thread %.2fx\n",
+                threads, seconds, static_cast<double>(n) / seconds,
+                r.triangle_team.front().second / seconds);
+  }
   std::printf("  counts identical: %s, stats identical: %s\n",
               r.counts_identical ? "yes" : "NO",
               r.stats_identical ? "yes" : "NO");
+}
+
+void AppendSweepJson(std::string* out, const char* name,
+                     const std::vector<std::pair<int, double>>& sweep) {
+  *out += std::string(",\n     \"") + name + "\": [";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"threads\": %d, \"seconds\": %.6f, "
+                  "\"speedup_vs_1\": %.4f}",
+                  i == 0 ? "" : ", ", sweep[i].first, sweep[i].second,
+                  sweep.front().second / sweep[i].second);
+    *out += buf;
+  }
+  *out += "]";
 }
 
 void AppendPassJson(std::string* out, const PassReport& r, std::size_t n) {
@@ -164,7 +266,7 @@ void AppendPassJson(std::string* out, const PassReport& r, std::size_t n) {
       "     \"classic_seconds\": %.6f, \"flat_seconds\": %.6f,\n"
       "     \"classic_tx_per_sec\": %.1f, \"flat_tx_per_sec\": %.1f,\n"
       "     \"flat_speedup\": %.4f, \"triangle_seconds\": %.6f,\n"
-      "     \"counts_identical\": %s, \"stats_identical\": %s}",
+      "     \"counts_identical\": %s, \"stats_identical\": %s",
       r.k, r.num_candidates, r.classic_seconds, r.flat_seconds,
       static_cast<double>(n) / r.classic_seconds,
       static_cast<double>(n) / r.flat_seconds,
@@ -172,6 +274,11 @@ void AppendPassJson(std::string* out, const PassReport& r, std::size_t n) {
       r.counts_identical ? "true" : "false",
       r.stats_identical ? "true" : "false");
   *out += buf;
+  AppendSweepJson(out, "team", r.team);
+  if (!r.triangle_team.empty()) {
+    AppendSweepJson(out, "triangle_team", r.triangle_team);
+  }
+  *out += "}";
 }
 
 }  // namespace
@@ -190,8 +297,9 @@ int main() {
 
   std::vector<Count> item_counts = CountItems(db, {0, db.size()});
   ItemsetCollection f1 = MakeF1(item_counts, minsup);
-  std::printf("N = %zu, minsup = %" PRIu64 ", |F1| = %zu\n\n", n,
-              static_cast<std::uint64_t>(minsup), f1.size());
+  std::printf("N = %zu, minsup = %" PRIu64 ", |F1| = %zu, host cores = %u\n\n",
+              n, static_cast<std::uint64_t>(minsup), f1.size(),
+              std::thread::hardware_concurrency());
 
   std::vector<PassReport> reports;
   ItemsetCollection prev = std::move(f1);
@@ -207,10 +315,12 @@ int main() {
   }
 
   bool ok = !reports.empty();
+  const unsigned host_cores = std::thread::hardware_concurrency();
   std::string json = "{\n";
   json += "  \"workload\": \"T10.I4.D" + std::to_string(n) + "\",\n";
   json += "  \"transactions\": " + std::to_string(n) + ",\n";
   json += "  \"reps\": " + std::to_string(reps) + ",\n";
+  json += "  \"host_cpu_cores\": " + std::to_string(host_cores) + ",\n";
   json += "  \"passes\": [\n";
   for (std::size_t i = 0; i < reports.size(); ++i) {
     AppendPassJson(&json, reports[i], n);

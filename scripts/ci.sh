@@ -10,7 +10,12 @@
 # dedicated pass under the sanitizers, where the fault-recovery paths
 # are most likely to expose lifetime or data-race bugs.
 #
-#   scripts/ci.sh [release|sanitize]   (default: both)
+# The tsan job builds under ThreadSanitizer and runs the suites that
+# exercise real threads: the intra-rank counting team differentials
+# (label `threaded`) and the chaos matrix (rank threads + counting
+# workers over a faulty transport).
+#
+#   scripts/ci.sh [release|sanitize|tsan]   (default: all)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -31,6 +36,13 @@ run_preset() {
 run_chaos_sanitized() {
   echo "=== chaos suite under ASan/UBSan ==="
   ctest --preset sanitize -L chaos --timeout "$test_timeout"
+}
+
+run_tsan() {
+  echo "=== threaded + chaos suites under TSan ==="
+  cmake --preset tsan
+  cmake --build --preset tsan
+  ctest --preset tsan -L 'threaded|chaos' --timeout "$test_timeout"
 }
 
 # Smoke pass of the transport benchmark: exercises the zero-copy vs
@@ -88,15 +100,19 @@ case "${1:-all}" in
     run_preset sanitize
     run_chaos_sanitized
     ;;
+  tsan)
+    run_tsan
+    ;;
   all)
     run_preset release
     run_bench_comm_smoke
     run_traced_smoke
     run_preset sanitize
     run_chaos_sanitized
+    run_tsan
     ;;
   *)
-    echo "usage: scripts/ci.sh [release|sanitize]" >&2
+    echo "usage: scripts/ci.sh [release|sanitize|tsan]" >&2
     exit 2
     ;;
 esac

@@ -25,6 +25,8 @@ RunMetrics SerialRunMetrics(const SerialResult& result,
     m.transactions_processed = db.size();
     m.db_scans = info.db_scans;
     m.local_db_wire_bytes = db.WireBytes(whole);
+    m.threads_per_rank = info.threads_per_rank;
+    m.shard_subset_work = info.shard_subset_work;
     m.wall_seconds = info.seconds;
     metrics.per_pass.push_back({m});
   }

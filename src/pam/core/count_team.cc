@@ -1,0 +1,189 @@
+#include "pam/core/count_team.h"
+
+#include <cassert>
+#include <optional>
+
+namespace pam {
+
+void AccumulateShardWork(std::vector<std::uint64_t>& into,
+                         const std::vector<std::uint64_t>& from) {
+  if (into.size() < from.size()) into.resize(from.size(), 0);
+  for (std::size_t i = 0; i < from.size(); ++i) into[i] += from[i];
+}
+
+TeamCounter::TeamCounter(CountingPool* pool, HashTree* tree,
+                         std::span<Count> counts, SubsetStats* stats,
+                         const Bitmap* root_filter)
+    : pool_(pool),
+      tree_(tree),
+      counts_(counts),
+      stats_(stats),
+      filter_(root_filter),
+      tracer_(obs::CurrentTracer()),
+      team_(pool->num_threads() > 1 &&
+                    tree->kernel() == HashTreeKernel::kFlat
+                ? pool->num_threads()
+                : 1) {
+  if (team_ > 1) {
+    strips_.Reset(team_, counts.size());
+    scratch_.resize(static_cast<std::size_t>(team_));
+    for (HashTree::Scratch& s : scratch_) s = tree->MakeScratch();
+    shard_stats_.assign(static_cast<std::size_t>(team_), SubsetStats{});
+  }
+}
+
+template <typename TxAt>
+void TeamCounter::RunBatch(std::size_t n, const TxAt& tx_at) {
+  pool_->Run(n, [&](int shard, std::size_t begin, std::size_t end) {
+    // Workers install the rank's tracer so their shard spans land on the
+    // rank's track; shard 0 already runs on the rank thread.
+    std::optional<obs::ScopedTracerInstall> install;
+    if (shard != 0) install.emplace(tracer_);
+    obs::ScopedSpan span(obs::SpanKind::kSubsetCountShard, shard);
+    const std::span<Count> out =
+        shard == 0 ? counts_ : strips_.strip(shard);
+    SubsetStats* stats =
+        stats_ != nullptr
+            ? &shard_stats_[static_cast<std::size_t>(shard)]
+            : nullptr;
+    HashTree::Scratch& scratch = scratch_[static_cast<std::size_t>(shard)];
+    const HashTree* tree = tree_;
+    for (std::size_t i = begin; i < end; ++i) {
+      tree->Subset(tx_at(i), out, stats, filter_, scratch);
+    }
+  });
+}
+
+std::size_t TeamCounter::CountSlice(const TransactionDatabase& db,
+                                    TransactionDatabase::Slice slice) {
+  const std::size_t n = slice.end - slice.begin;
+  if (team_ == 1) {
+    for (std::size_t t = slice.begin; t < slice.end; ++t) {
+      tree_->Subset(db.Transaction(t), counts_, stats_, filter_);
+    }
+    return n;
+  }
+  RunBatch(n, [&db, slice](std::size_t i) {
+    return db.Transaction(slice.begin + i);
+  });
+  return n;
+}
+
+std::size_t TeamCounter::CountPage(PageView page) {
+  if (team_ == 1) {
+    std::size_t n = 0;
+    ForEachTransaction(page, [&](ItemSpan tx) {
+      tree_->Subset(tx, counts_, stats_, filter_);
+      ++n;
+    });
+    return n;
+  }
+  page_tx_.clear();
+  ForEachTransaction(page, [this](ItemSpan tx) { page_tx_.push_back(tx); });
+  RunBatch(page_tx_.size(), [this](std::size_t i) { return page_tx_[i]; });
+  return page_tx_.size();
+}
+
+void TeamCounter::Finish() {
+  assert(!finished_);
+  finished_ = true;
+  if (team_ == 1) return;
+  strips_.MergeInto(counts_);
+  if (stats_ == nullptr) return;
+  // Fixed shard order: the merged stats are identical for every team size
+  // (u64 sums of per-transaction contributions) and identical across runs.
+  shard_work_.assign(static_cast<std::size_t>(team_), 0);
+  for (int w = 0; w < team_; ++w) {
+    const SubsetStats& s = shard_stats_[static_cast<std::size_t>(w)];
+    stats_->Accumulate(s);
+    shard_work_[static_cast<std::size_t>(w)] =
+        s.traversal_steps + s.leaf_candidates_checked;
+  }
+}
+
+TriangleTeam::TriangleTeam(CountingPool* pool, TrianglePairCounter* tri,
+                           SubsetStats* stats)
+    : pool_(pool),
+      tri_(tri),
+      stats_(stats),
+      tracer_(obs::CurrentTracer()),
+      team_(pool->num_threads()) {
+  if (team_ > 1) {
+    shards_.reserve(static_cast<std::size_t>(team_ - 1));
+    for (int w = 1; w < team_; ++w) shards_.emplace_back(*tri);
+    shard_stats_.assign(static_cast<std::size_t>(team_), SubsetStats{});
+  }
+}
+
+template <typename TxAt>
+void TriangleTeam::RunBatch(std::size_t n, const TxAt& tx_at) {
+  pool_->Run(n, [&](int shard, std::size_t begin, std::size_t end) {
+    std::optional<obs::ScopedTracerInstall> install;
+    if (shard != 0) install.emplace(tracer_);
+    obs::ScopedSpan span(obs::SpanKind::kSubsetCountShard, shard);
+    SubsetStats* stats =
+        stats_ != nullptr
+            ? &shard_stats_[static_cast<std::size_t>(shard)]
+            : nullptr;
+    if (shard == 0) {
+      for (std::size_t i = begin; i < end; ++i) {
+        tri_->AddTransaction(tx_at(i), stats);
+      }
+    } else {
+      TrianglePairCounter::Shard& mine =
+          shards_[static_cast<std::size_t>(shard - 1)];
+      for (std::size_t i = begin; i < end; ++i) {
+        mine.AddTransaction(tx_at(i), stats);
+      }
+    }
+  });
+}
+
+std::size_t TriangleTeam::CountSlice(const TransactionDatabase& db,
+                                     TransactionDatabase::Slice slice) {
+  const std::size_t n = slice.end - slice.begin;
+  if (team_ == 1) {
+    for (std::size_t t = slice.begin; t < slice.end; ++t) {
+      tri_->AddTransaction(db.Transaction(t), stats_);
+    }
+    return n;
+  }
+  RunBatch(n, [&db, slice](std::size_t i) {
+    return db.Transaction(slice.begin + i);
+  });
+  return n;
+}
+
+std::size_t TriangleTeam::CountPage(PageView page) {
+  if (team_ == 1) {
+    std::size_t n = 0;
+    ForEachTransaction(page, [&](ItemSpan tx) {
+      tri_->AddTransaction(tx, stats_);
+      ++n;
+    });
+    return n;
+  }
+  page_tx_.clear();
+  ForEachTransaction(page, [this](ItemSpan tx) { page_tx_.push_back(tx); });
+  RunBatch(page_tx_.size(), [this](std::size_t i) { return page_tx_[i]; });
+  return page_tx_.size();
+}
+
+void TriangleTeam::Finish() {
+  assert(!finished_);
+  finished_ = true;
+  if (team_ == 1) return;
+  for (const TrianglePairCounter::Shard& shard : shards_) {
+    tri_->MergeShard(shard);
+  }
+  if (stats_ == nullptr) return;
+  shard_work_.assign(static_cast<std::size_t>(team_), 0);
+  for (int w = 0; w < team_; ++w) {
+    const SubsetStats& s = shard_stats_[static_cast<std::size_t>(w)];
+    stats_->Accumulate(s);
+    shard_work_[static_cast<std::size_t>(w)] =
+        s.traversal_steps + s.leaf_candidates_checked;
+  }
+}
+
+}  // namespace pam

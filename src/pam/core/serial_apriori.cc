@@ -5,6 +5,8 @@
 #include <numeric>
 
 #include "pam/core/apriori_gen.h"
+#include "pam/core/count_team.h"
+#include "pam/hashtree/counting_pool.h"
 #include "pam/hashtree/pair_counter.h"
 #include "pam/obs/trace.h"
 #include "pam/util/timer.h"
@@ -43,7 +45,7 @@ namespace {
 std::size_t CountCandidates(const TransactionDatabase& db,
                             TransactionDatabase::Slice slice,
                             ItemsetCollection& candidates,
-                            const AprioriConfig& config,
+                            const AprioriConfig& config, CountingPool* pool,
                             const ItemsetCollection* f1_for_triangle,
                             SerialPassInfo* info) {
   const std::size_t m = candidates.size();
@@ -55,8 +57,11 @@ std::size_t CountCandidates(const TransactionDatabase& db,
     {
       obs::ScopedSpan count_span(obs::SpanKind::kSubsetCount, /*index=*/0,
                                  "triangle");
-      for (std::size_t t = slice.begin; t < slice.end; ++t) {
-        tri.AddTransaction(db.Transaction(t), stats);
+      TriangleTeam team(pool, &tri, stats);
+      team.CountSlice(db, slice);
+      team.Finish();
+      if (info != nullptr) {
+        AccumulateShardWork(info->shard_subset_work, team.shard_work());
       }
     }
     std::vector<Count> counts(m, 0);
@@ -86,9 +91,12 @@ std::size_t CountCandidates(const TransactionDatabase& db,
     build_span.End();
     obs::ScopedSpan count_span(obs::SpanKind::kSubsetCount,
                                static_cast<std::int64_t>(chunk));
-    for (std::size_t t = slice.begin; t < slice.end; ++t) {
-      tree.Subset(db.Transaction(t), counts_span,
-                  info != nullptr ? &info->subset : nullptr);
+    TeamCounter team(pool, &tree, counts_span,
+                     info != nullptr ? &info->subset : nullptr);
+    team.CountSlice(db, slice);
+    team.Finish();
+    if (info != nullptr) {
+      AccumulateShardWork(info->shard_subset_work, team.shard_work());
     }
     count_span.End();
   }
@@ -106,6 +114,7 @@ SerialResult MineSerial(const TransactionDatabase& db,
   WallTimer total_timer;
   SerialResult result;
   result.minsup_count = config.ResolveMinsup(slice.size());
+  CountingPool pool(config.threads_per_rank);
 
   // Pass 1: direct counting array, no hash tree needed. With DHP enabled,
   // the same scan also hashes every transaction pair into buckets.
@@ -116,6 +125,7 @@ SerialResult MineSerial(const TransactionDatabase& db,
     WallTimer timer;
     SerialPassInfo info;
     info.k = 1;
+    info.threads_per_rank = pool.num_threads();
     std::vector<Count> item_counts = CountItems(db, slice);
     if (config.dhp_buckets > 0) {
       dhp_buckets = CountPairBuckets(db, slice, config.dhp_buckets);
@@ -135,6 +145,7 @@ SerialResult MineSerial(const TransactionDatabase& db,
     WallTimer timer;
     SerialPassInfo info;
     info.k = k;
+    info.threads_per_rank = pool.num_threads();
     ItemsetCollection candidates = AprioriGen(prev);
     if (k == 2 && !dhp_buckets.empty()) {
       candidates =
@@ -148,7 +159,7 @@ SerialResult MineSerial(const TransactionDatabase& db,
 
     const ItemsetCollection* f1_for_triangle =
         (k == 2 && config.use_pass2_triangle) ? &prev : nullptr;
-    info.db_scans = CountCandidates(db, slice, candidates, config,
+    info.db_scans = CountCandidates(db, slice, candidates, config, &pool,
                                     f1_for_triangle, &info);
     candidates.PruneBelow(result.minsup_count);
     info.num_frequent = candidates.size();

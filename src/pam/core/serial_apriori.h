@@ -45,10 +45,21 @@ struct AprioriConfig {
   /// same counts and frequent itemsets, much faster — but no tree means no
   /// traversal/leaf-visit stats for pass 2, so the Figure 11/12
   /// instrumentation runs disable it. Only taken when the triangle fits
-  /// max_candidates_in_memory. Used by the serial miner and the common
-  /// counting (CD) path; the partitioned formulations (DD/IDD/HD/HPA)
-  /// always use their candidate partitions.
+  /// max_candidates_in_memory. Used by the serial miner and every parallel
+  /// formulation: CD counts the full triangle and reduces it, DD/IDD/HD
+  /// count the full triangle over the circulating pages and extract only
+  /// their candidate partition, HPA counts locally and reduces (its subset
+  /// routing has nothing to route when every rank already holds the
+  /// triangle).
   bool use_pass2_triangle = true;
+  /// Size of the intra-rank counting team (DESIGN.md §11): the counting
+  /// hot path of every pass splits its transactions across this many
+  /// shards — shard 0 on the rank thread, the rest on a CountingPool of
+  /// worker threads, each accumulating into a cache-line padded counter
+  /// strip merged deterministically at the end of the batch. 1 (the
+  /// default) spawns no threads and takes exactly the old code path;
+  /// results are byte-identical for every value.
+  int threads_per_rank = 1;
 
   /// Resolves the absolute support threshold for a database of size n.
   Count ResolveMinsup(std::size_t n) const;
@@ -65,6 +76,11 @@ struct SerialPassInfo {
   /// max_candidates_in_memory forces chunking).
   std::size_t db_scans = 1;
   SubsetStats subset;
+  /// Counting-team shape of this pass: configured team size and the subset
+  /// work (traversal steps + candidates checked) done by each shard, in
+  /// shard order. shard_subset_work is empty when the team was inactive.
+  int threads_per_rank = 1;
+  std::vector<std::uint64_t> shard_subset_work;
   double seconds = 0.0;
 };
 

@@ -1,0 +1,117 @@
+#include "pam/hashtree/counting_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pam {
+
+CountingPool::CountingPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  if (num_threads_ == 1) return;  // zero-overhead default: no threads at all
+  ranges_.resize(static_cast<std::size_t>(num_threads_));
+  workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int shard = 1; shard < num_threads_; ++shard) {
+    workers_.emplace_back([this, shard] { WorkerLoop(shard); });
+  }
+}
+
+CountingPool::~CountingPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void CountingPool::Run(std::size_t n, const ShardFn& fn) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    fn(0, 0, n);
+    return;
+  }
+  const std::size_t t = static_cast<std::size_t>(num_threads_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(job_ == nullptr && "CountingPool::Run is not reentrant");
+    for (std::size_t w = 0; w < t; ++w) {
+      ranges_[w] = Range{w * n / t, (w + 1) * n / t};
+    }
+    job_ = &fn;
+    error_ = nullptr;
+    pending_ = num_threads_ - 1;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // Shard 0 runs here on the rank thread; a throw still waits for the
+  // workers (they hold a reference to fn) before propagating.
+  std::exception_ptr caller_error;
+  if (ranges_[0].begin < ranges_[0].end) {
+    try {
+      fn(0, ranges_[0].begin, ranges_[0].end);
+    } catch (...) {
+      caller_error = std::current_exception();
+    }
+  }
+
+  std::exception_ptr worker_error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    job_ = nullptr;
+    worker_error = error_;
+    error_ = nullptr;
+  }
+  if (caller_error) std::rethrow_exception(caller_error);
+  if (worker_error) std::rethrow_exception(worker_error);
+}
+
+void CountingPool::WorkerLoop(int shard) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const ShardFn* job = nullptr;
+    Range range;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [this, seen] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+      range = ranges_[static_cast<std::size_t>(shard)];
+    }
+    if (range.begin < range.end) {
+      try {
+        (*job)(shard, range.begin, range.end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void CounterStrips::Reset(int num_shards, std::size_t width) {
+  width_ = width;
+  // Round the strip stride up to whole cache lines plus one line of
+  // separation so two shards never write the same line.
+  stride_ = (width + kLineCounts - 1) / kLineCounts * kLineCounts +
+            kLineCounts;
+  num_strips_ = num_shards > 1 ? num_shards - 1 : 0;
+  data_.assign(stride_ * static_cast<std::size_t>(num_strips_), 0);
+}
+
+void CounterStrips::MergeInto(std::span<Count> out) const {
+  assert(out.size() >= width_);
+  for (int s = 0; s < num_strips_; ++s) {
+    const Count* strip = data_.data() + static_cast<std::size_t>(s) * stride_;
+    for (std::size_t i = 0; i < width_; ++i) out[i] += strip[i];
+  }
+}
+
+}  // namespace pam

@@ -7,6 +7,17 @@
 
 #include "pam/tdb/database.h"
 
+// The AVX2 subset kernel is compiled in only when the build enables SIMD
+// (PAM_ENABLE_SIMD, set by the PAM_ENABLE_SIMD CMake option) and the
+// compiler targets AVX2; every other build uses the portable scalar path.
+// Both produce bit-identical counts and stats.
+#if defined(PAM_ENABLE_SIMD) && defined(__AVX2__)
+#define PAM_HASHTREE_AVX2 1
+#include <immintrin.h>
+
+#include <bit>
+#endif
+
 namespace pam {
 
 namespace {
@@ -214,22 +225,46 @@ void HashTree::Freeze() {
   // Candidate item tuples copied leaf-ordered: the inner subset check
   // walks this array sequentially instead of bouncing through the
   // collection in candidate-id order.
-  leaf_items_.resize(leaf_ids_.size() * static_cast<std::size_t>(k_));
+  const std::size_t k = static_cast<std::size_t>(k_);
+  leaf_items_.resize(leaf_ids_.size() * k);
   Item max_item = 0;
+#if PAM_HASHTREE_AVX2
+  // Column-major per leaf: item column a of an n-candidate leaf occupies
+  // n contiguous slots, so the SIMD kernel loads eight candidates' a-th
+  // items with one unaligned load.
+  for (std::size_t l = 0; l < num_leaves; ++l) {
+    const std::size_t off = leaf_offsets_[l];
+    const std::size_t cnt = leaf_offsets_[l + 1] - off;
+    Item* base = leaf_items_.data() + off * k;
+    for (std::size_t j = 0; j < cnt; ++j) {
+      ItemSpan items = candidates_.Get(leaf_ids_[off + j]);
+      for (std::size_t a = 0; a < k; ++a) base[a * cnt + j] = items[a];
+      max_item = std::max(max_item, items.back());
+    }
+  }
+#else
+  // Row-major: candidate j's whole tuple is contiguous.
   for (std::size_t j = 0; j < leaf_ids_.size(); ++j) {
     ItemSpan items = candidates_.Get(leaf_ids_[j]);
-    std::copy(items.begin(), items.end(),
-              leaf_items_.begin() + j * static_cast<std::size_t>(k_));
+    std::copy(items.begin(), items.end(), leaf_items_.begin() + j * k);
     max_item = std::max(max_item, items.back());
   }
-  leaf_epoch_.assign(num_leaves, 0);
-  item_epoch_.assign(
-      leaf_ids_.empty() ? 0 : static_cast<std::size_t>(max_item) + 1, 0);
+#endif
+  item_stamp_size_ =
+      leaf_ids_.empty() ? 0 : static_cast<std::size_t>(max_item) + 1;
   root_ref_ = encode(0);
-  stack_.resize(static_cast<std::size_t>(k_) + 1);
+  scratch_ = MakeScratch();
 
   // The node-based tree is no longer needed; release it.
   std::vector<Node>().swap(nodes_);
+}
+
+HashTree::Scratch HashTree::MakeScratch() const {
+  Scratch s;
+  s.leaf_epoch.assign(num_leaves_, 0);
+  s.item_stamp.assign(item_stamp_size_, 0);
+  s.stack.resize(static_cast<std::size_t>(k_) + 1);
+  return s;
 }
 
 void HashTree::Subset(ItemSpan transaction, std::span<Count> counts,
@@ -238,81 +273,138 @@ void HashTree::Subset(ItemSpan transaction, std::span<Count> counts,
     SubsetClassic(transaction, counts, stats, root_filter);
     return;
   }
+  Subset(transaction, counts, stats, root_filter, scratch_);
+}
+
+void HashTree::Subset(ItemSpan transaction, std::span<Count> counts,
+                      SubsetStats* stats, const Bitmap* root_filter,
+                      Scratch& scratch) const {
+  assert(kernel_ == HashTreeKernel::kFlat &&
+         "scratch-based Subset requires the flat kernel");
   // Hoist the stats / root-filter branches out of the hot loops: pick one
   // of four specialized instantiations once per transaction.
   if (stats != nullptr) {
     if (root_filter != nullptr) {
-      SubsetFlat<true, true>(transaction, counts, stats, root_filter);
+      SubsetFlat<true, true>(transaction, counts, stats, root_filter,
+                             scratch);
     } else {
-      SubsetFlat<true, false>(transaction, counts, stats, nullptr);
+      SubsetFlat<true, false>(transaction, counts, stats, nullptr, scratch);
     }
   } else {
     if (root_filter != nullptr) {
-      SubsetFlat<false, true>(transaction, counts, nullptr, root_filter);
+      SubsetFlat<false, true>(transaction, counts, nullptr, root_filter,
+                              scratch);
     } else {
-      SubsetFlat<false, false>(transaction, counts, nullptr, nullptr);
+      SubsetFlat<false, false>(transaction, counts, nullptr, nullptr,
+                               scratch);
     }
   }
 }
 
 template <bool WithStats>
-void HashTree::CheckLeafFlat(std::int32_t leaf, ItemSpan transaction,
-                             std::span<Count> counts, SubsetStats* stats) {
-  (void)transaction;  // containment reads the item stamps, not the span
+void HashTree::CheckLeafFlat(std::int32_t leaf, std::span<Count> counts,
+                             SubsetStats* stats, Scratch& scratch) const {
   const std::size_t l = static_cast<std::size_t>(leaf);
   // Distinct-leaf detection: a leaf already visited for this transaction
   // contributes no further checking work (paper Section IV).
-  if (leaf_epoch_[l] == epoch_) return;
-  leaf_epoch_[l] = epoch_;
+  if (scratch.leaf_epoch[l] == scratch.epoch) return;
+  scratch.leaf_epoch[l] = scratch.epoch;
   const std::uint32_t begin = leaf_offsets_[l];
   const std::uint32_t end = leaf_offsets_[l + 1];
   if constexpr (WithStats) {
     ++stats->distinct_leaf_visits;
     stats->leaf_candidates_checked += end - begin;
   }
-  const Item* tuple =
-      leaf_items_.data() + static_cast<std::size_t>(begin) *
-                               static_cast<std::size_t>(k_);
-  // Containment via the per-item epoch stamps: every item of the
-  // transaction was stamped with the current epoch on entry, so a
-  // candidate is contained iff all k of its items carry the stamp.
-  const std::uint64_t e = epoch_;
-  const std::uint64_t* present = item_epoch_.data();
-  for (std::uint32_t j = begin; j < end;
-       ++j, tuple += static_cast<std::size_t>(k_)) {
+  // Containment via the per-item stamps: every item of the transaction
+  // was stamped with the current value on entry, so a candidate is
+  // contained iff all k of its items carry the stamp.
+  const std::uint32_t e = scratch.stamp;
+  const std::uint32_t* present = scratch.item_stamp.data();
+  const std::size_t k = static_cast<std::size_t>(k_);
+#if PAM_HASHTREE_AVX2
+  // Column-major leaf layout: 8 candidates per iteration, one gathered
+  // stamp compare per item column, AND-accumulated into a lane mask.
+  // Candidate items are always < item_stamp_size_, so the gather needs no
+  // bounds mask.
+  const std::uint32_t cnt = end - begin;
+  const Item* base = leaf_items_.data() + static_cast<std::size_t>(begin) * k;
+  const __m256i vstamp = _mm256_set1_epi32(static_cast<int>(e));
+  std::uint32_t j = 0;
+  for (; j + 8 <= cnt; j += 8) {
+    __m256i all = _mm256_set1_epi32(-1);
+    for (std::size_t a = 0; a < k; ++a) {
+      const __m256i idx = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(base + a * cnt + j));
+      const __m256i got = _mm256_i32gather_epi32(
+          reinterpret_cast<const int*>(present), idx, 4);
+      all = _mm256_and_si256(all, _mm256_cmpeq_epi32(got, vstamp));
+    }
+    unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(all)));
+    while (mask != 0) {
+      const unsigned lane = static_cast<unsigned>(std::countr_zero(mask));
+      mask &= mask - 1;
+      ++counts[leaf_ids_[begin + j + lane]];
+    }
+  }
+  // Scalar tail over the same columns.
+  for (; j < cnt; ++j) {
     bool all = true;
-    for (int a = 0; a < k_; ++a) {
-      if (present[tuple[static_cast<std::size_t>(a)]] != e) {
+    for (std::size_t a = 0; a < k; ++a) {
+      if (present[base[a * cnt + j]] != e) {
+        all = false;
+        break;
+      }
+    }
+    if (all) ++counts[leaf_ids_[begin + j]];
+  }
+#else
+  const Item* tuple = leaf_items_.data() + static_cast<std::size_t>(begin) * k;
+  for (std::uint32_t j = begin; j < end; ++j, tuple += k) {
+    bool all = true;
+    for (std::size_t a = 0; a < k; ++a) {
+      if (present[tuple[a]] != e) {
         all = false;
         break;
       }
     }
     if (all) ++counts[leaf_ids_[j]];
   }
+#endif
 }
 
 template <bool WithStats, bool WithFilter>
 void HashTree::SubsetFlat(ItemSpan transaction, std::span<Count> counts,
-                          SubsetStats* stats, const Bitmap* root_filter) {
+                          SubsetStats* stats, const Bitmap* root_filter,
+                          Scratch& scratch) const {
   assert(counts.size() == candidates_.size());
   if (static_cast<int>(transaction.size()) < k_) {
     if constexpr (WithStats) ++stats->transactions;
     return;
   }
-  ++epoch_;
+  ++scratch.epoch;
+  if (++scratch.stamp == 0) {
+    // The 32-bit stamp wrapped: clear the array so stale stamps from 2^32
+    // transactions ago cannot collide, then restart at 1.
+    std::fill(scratch.item_stamp.begin(), scratch.item_stamp.end(), 0);
+    scratch.stamp = 1;
+  }
   if constexpr (WithStats) ++stats->transactions;
   // Stamp the transaction's items for the O(k) leaf containment check.
   // Items beyond the largest candidate item cannot occur in any tuple.
   {
-    const std::size_t limit = item_epoch_.size();
+    const std::size_t limit = scratch.item_stamp.size();
+    const std::uint32_t stamp = scratch.stamp;
     for (const Item item : transaction) {
-      if (static_cast<std::size_t>(item) < limit) item_epoch_[item] = epoch_;
+      if (static_cast<std::size_t>(item) < limit) {
+        scratch.item_stamp[item] = stamp;
+      }
     }
   }
   const std::size_t last_start =
       transaction.size() - static_cast<std::size_t>(k_) + 1;
   const std::int32_t* children = children_.data();
-  Frame* frames = stack_.data();
+  Frame* frames = scratch.stack.data();
   const std::uint32_t tx_size = static_cast<std::uint32_t>(transaction.size());
   for (std::size_t i = 0; i < last_start; ++i) {
     const Item item = transaction[i];
@@ -326,8 +418,7 @@ void HashTree::SubsetFlat(ItemSpan transaction, std::span<Count> counts,
     if (root_ref_ <= kLeafBase) {
       // Degenerate single-node tree: check once (first viable item) and
       // stop; further starts revisit the same leaf.
-      CheckLeafFlat<WithStats>(kLeafBase - root_ref_, transaction, counts,
-                               stats);
+      CheckLeafFlat<WithStats>(kLeafBase - root_ref_, counts, stats, scratch);
       break;
     }
     if constexpr (WithStats) ++stats->traversal_steps;
@@ -336,8 +427,7 @@ void HashTree::SubsetFlat(ItemSpan transaction, std::span<Count> counts,
                  (item & mask_)];
     if (child == kAbsent) continue;
     if (child <= kLeafBase) {
-      CheckLeafFlat<WithStats>(kLeafBase - child, transaction, counts,
-                               stats);
+      CheckLeafFlat<WithStats>(kLeafBase - child, counts, stats, scratch);
       continue;
     }
     // Iterative depth-first traversal below the root child; frames resume
@@ -357,7 +447,7 @@ void HashTree::SubsetFlat(ItemSpan transaction, std::span<Count> counts,
                    (next & mask_)];
       if (c == kAbsent) continue;
       if (c <= kLeafBase) {
-        CheckLeafFlat<WithStats>(kLeafBase - c, transaction, counts, stats);
+        CheckLeafFlat<WithStats>(kLeafBase - c, counts, stats, scratch);
       } else {
         const std::uint32_t pos = f.pos;
         frames[++depth] = Frame{c, pos};

@@ -90,8 +90,45 @@ struct SubsetStats {
 /// default kFlat kernel the finished tree is then frozen into a flat
 /// structure-of-arrays layout (see DESIGN.md, "Counting kernel memory
 /// layout") and the node storage is released. Subset() never allocates.
+///
+/// Thread safety: the frozen tree is immutable, but each traversal needs
+/// mutable scratch (visit epochs, item stamps, the DFS stack). The
+/// one-argument Subset() uses an internal Scratch and is single-threaded;
+/// the intra-rank counting team gives every worker its own MakeScratch()
+/// and calls the const overload concurrently on one shared tree.
 class HashTree {
+ private:
+  // Flat child encoding: kAbsent for no child, >= 0 for an internal node
+  // id (index into children_ blocks), <= kLeafBase for a leaf (leaf id ==
+  // kLeafBase - value).
+  static constexpr std::int32_t kAbsent = -1;
+  static constexpr std::int32_t kLeafBase = -2;
+  struct Frame {
+    std::int32_t node;  // internal node id
+    std::uint32_t pos;  // next transaction position to hash
+  };
+
  public:
+  /// Per-traversal mutable state for the kFlat kernel, factored out of the
+  /// tree so concurrent workers can share one frozen tree. Opaque: obtain
+  /// via MakeScratch(), pass back to the const Subset() overload.
+  class Scratch {
+   public:
+    Scratch() = default;
+
+   private:
+    friend class HashTree;
+    // Distinct-leaf-visit epoch (64-bit: never wraps in practice).
+    std::uint64_t epoch = 0;
+    // Item stamp for the O(k) leaf containment check. 32-bit so the AVX2
+    // kernel gathers one stamp per lane; on wrap the array is cleared and
+    // the stamp restarts at 1, preserving exactness.
+    std::uint32_t stamp = 0;
+    std::vector<std::uint64_t> leaf_epoch;
+    std::vector<std::uint32_t> item_stamp;
+    std::vector<Frame> stack;  // preallocated DFS stack, depth <= k
+  };
+
   /// Builds a tree over candidates `candidate_ids` of `candidates`.
   /// The collection must outlive the tree.
   HashTree(const ItemsetCollection& candidates,
@@ -107,6 +144,18 @@ class HashTree {
   /// pruning of Figure 8. `stats` may be null.
   void Subset(ItemSpan transaction, std::span<Count> counts,
               SubsetStats* stats, const Bitmap* root_filter = nullptr);
+
+  /// Thread-safe counting against caller-owned scratch (kFlat only): the
+  /// tree itself is read-only here, so any number of workers may call this
+  /// concurrently, each with its own Scratch and its own counts strip.
+  void Subset(ItemSpan transaction, std::span<Count> counts,
+              SubsetStats* stats, const Bitmap* root_filter,
+              Scratch& scratch) const;
+
+  /// Fresh zeroed scratch sized for this tree.
+  Scratch MakeScratch() const;
+
+  HashTreeKernel kernel() const { return kernel_; }
 
   /// Number of leaf nodes (the L of the paper's analysis).
   std::size_t num_leaves() const { return num_leaves_; }
@@ -130,16 +179,6 @@ class HashTree {
     std::uint64_t visit_epoch = 0;
   };
 
-  // Flat child encoding: kAbsent for no child, >= 0 for an internal node
-  // id (index into children_ blocks), <= kLeafBase for a leaf (leaf id ==
-  // kLeafBase - value).
-  static constexpr std::int32_t kAbsent = -1;
-  static constexpr std::int32_t kLeafBase = -2;
-  struct Frame {
-    std::int32_t node;      // internal node id
-    std::uint32_t pos;      // next transaction position to hash
-  };
-
   void Insert(std::uint32_t candidate_id);
   void SplitLeaf(std::int32_t node_index, int depth);
   void Freeze();
@@ -149,10 +188,11 @@ class HashTree {
              std::span<Count> counts, SubsetStats* stats);
   template <bool WithStats, bool WithFilter>
   void SubsetFlat(ItemSpan transaction, std::span<Count> counts,
-                  SubsetStats* stats, const Bitmap* root_filter);
+                  SubsetStats* stats, const Bitmap* root_filter,
+                  Scratch& scratch) const;
   template <bool WithStats>
-  void CheckLeafFlat(std::int32_t leaf, ItemSpan transaction,
-                     std::span<Count> counts, SubsetStats* stats);
+  void CheckLeafFlat(std::int32_t leaf, std::span<Count> counts,
+                     SubsetStats* stats, Scratch& scratch) const;
 
   int Hash(Item item) const { return static_cast<int>(item & mask_); }
 
@@ -168,25 +208,24 @@ class HashTree {
   std::size_t num_leaves_ = 0;
   std::size_t num_candidates_ = 0;
   std::uint64_t build_inserts_ = 0;
-  std::uint64_t epoch_ = 0;
+  std::uint64_t epoch_ = 0;  // kClassic per-transaction epoch
 
   // Frozen structure-of-arrays layout (kFlat only). children_ holds one
   // fanout_-sized block per internal node; leaves are a CSR pair
   // (leaf_offsets_, leaf_ids_) plus the candidates' item tuples copied
   // leaf-ordered into leaf_items_ so the inner subset check reads
-  // contiguous memory.
+  // contiguous memory. Scalar builds store a leaf's tuples row-major
+  // (candidate-contiguous); the AVX2 build stores them column-major per
+  // leaf (item position a of candidate j of an n-candidate leaf at
+  // base + a*n + j) so one 8-lane load reads item column a of eight
+  // neighbouring candidates — the SIMD lane layout of DESIGN.md §11.
   std::int32_t root_ref_ = kAbsent;
   std::vector<std::int32_t> children_;
   std::vector<std::uint32_t> leaf_offsets_;
   std::vector<std::uint32_t> leaf_ids_;
   std::vector<Item> leaf_items_;
-  std::vector<std::uint64_t> leaf_epoch_;
-  // Per-item visit stamps (indexed by item value, sized to the largest
-  // candidate item): SubsetFlat stamps the transaction's items with the
-  // current epoch so the leaf check is k O(1) lookups instead of a merge
-  // against the transaction.
-  std::vector<std::uint64_t> item_epoch_;
-  std::vector<Frame> stack_;  // preallocated DFS stack, depth <= k
+  std::size_t item_stamp_size_ = 0;  // largest candidate item + 1
+  Scratch scratch_;  // backs the single-threaded Subset() overload
 };
 
 /// Reference counter: O(|T| * |C_k|) subset matching, used to validate the

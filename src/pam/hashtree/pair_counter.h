@@ -52,6 +52,30 @@ class TrianglePairCounter {
   /// paper's Figure 11/12 traversal instrumentation). `stats` may be null.
   void AddTransaction(ItemSpan transaction, SubsetStats* stats);
 
+  /// A per-worker shard of the counting team: the same kernel accumulating
+  /// into a private triangle, merged into the parent with MergeShard().
+  /// The parent must outlive and not be mutated under its shards; shards
+  /// on distinct threads never share state.
+  class Shard {
+   public:
+    explicit Shard(const TrianglePairCounter& parent)
+        : parent_(&parent), tri_(parent.tri_.size(), 0) {}
+
+    void AddTransaction(ItemSpan transaction, SubsetStats* stats) {
+      parent_->CountInto(transaction, stats, tri_.data(), ranks_);
+    }
+
+   private:
+    friend class TrianglePairCounter;
+    const TrianglePairCounter* parent_;
+    std::vector<Count> tri_;
+    std::vector<std::uint32_t> ranks_;  // per-transaction rank buffer
+  };
+
+  /// Adds a shard's triangle into this counter. Call once per shard, in
+  /// fixed shard order, after the team has joined.
+  void MergeShard(const Shard& shard);
+
   /// Scatters the triangle into `counts` (indexed by candidate position in
   /// `c2`). Every candidate of `c2` must be a pair of frequent items —
   /// true for apriori_gen(F_1) output, DHP-filtered or not.
@@ -67,6 +91,20 @@ class TrianglePairCounter {
   std::size_t Index(std::size_t ri, std::size_t rj) const {
     return ri * (2 * r_ - ri - 1) / 2 + (rj - ri - 1);
   }
+
+  // Collects the F_1 ranks of the transaction's frequent items into
+  // `ranks` (ascending, because transactions and F_1 are both sorted) and
+  // returns how many. `ranks` is grown to transaction.size() + 8: the AVX2
+  // path stores a full 8-lane vector per iteration and relies on the
+  // slack.
+  std::size_t CollectRanks(ItemSpan transaction,
+                           std::vector<std::uint32_t>& ranks) const;
+
+  // The shared kernel behind AddTransaction and Shard::AddTransaction:
+  // counts into the caller-supplied triangle using the caller's rank
+  // buffer. Touches no mutable state of *this.
+  void CountInto(ItemSpan transaction, SubsetStats* stats, Count* tri,
+                 std::vector<std::uint32_t>& ranks) const;
 
   std::size_t r_ = 0;                 // |F_1|
   std::vector<std::uint32_t> rank_;   // item -> rank, kNotFrequent if absent

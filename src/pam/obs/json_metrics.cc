@@ -45,6 +45,14 @@ std::string PassRowJson(int rank, const PassMetrics& m) {
               &first);
   AppendField(&out, "grid_cols", static_cast<std::uint64_t>(m.grid_cols),
               &first);
+  AppendField(&out, "threads_per_rank",
+              static_cast<std::uint64_t>(m.threads_per_rank), &first);
+  out.append(",\"shard_subset_work\":[");
+  for (std::size_t i = 0; i < m.shard_subset_work.size(); ++i) {
+    if (i > 0) out.append(",");
+    out.append(std::to_string(m.shard_subset_work[i]));
+  }
+  out.append("]");
   char wall[64];
   std::snprintf(wall, sizeof(wall), ",\"wall_seconds\":%.6f",
                 m.wall_seconds);

@@ -18,9 +18,14 @@ namespace pam::obs {
 ///       ├── all-to-all          (DD page exchange / HPA subset routing)
 ///       │   └── subset count
 ///       └── subset count        (CD / serial: one counted chunk)
+///           └── subset count shard  (one counting-team worker, index =
+///                                    shard; only with threads_per_rank > 1)
 ///
 /// kFaultRetry is an *instant* event (a retransmit attempt under fault
-/// injection), not an interval.
+/// injection), not an interval. kSubsetCountShard spans of one rank run
+/// concurrently on the team's worker threads, so two shards of the same
+/// batch may partially overlap on the rank's track — the only kind exempt
+/// from the strict-nesting invariant.
 enum class SpanKind : std::uint8_t {
   kRun,
   kPass,
@@ -29,6 +34,7 @@ enum class SpanKind : std::uint8_t {
   kAllToAll,
   kCollective,
   kSubsetCount,
+  kSubsetCountShard,
   kFaultRetry,
   kRuleGen,
 };

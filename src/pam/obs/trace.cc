@@ -27,6 +27,8 @@ const char* SpanKindName(SpanKind kind) {
       return "collective";
     case SpanKind::kSubsetCount:
       return "subset_count";
+    case SpanKind::kSubsetCountShard:
+      return "subset_count_shard";
     case SpanKind::kFaultRetry:
       return "fault_retry";
     case SpanKind::kRuleGen:

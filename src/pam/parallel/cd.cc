@@ -23,6 +23,7 @@ RankOutput RunCdRank(const TransactionDatabase& db, Comm& comm,
   const Count minsup = config.apriori.ResolveMinsup(db.size());
   std::vector<Count> dhp_buckets;  // PDM-style DHP filter state (optional)
   const std::size_t cap = config.apriori.max_candidates_in_memory;
+  CountingPool pool(config.apriori.threads_per_rank);
 
   {
     obs::ScopedSpan pass_span(obs::SpanKind::kPass, /*pass_k=*/1, -1,
@@ -62,12 +63,13 @@ RankOutput RunCdRank(const TransactionDatabase& db, Comm& comm,
     m.num_candidates_global = num_candidates;
     m.num_candidates_local = num_candidates;
     m.transactions_processed = slice.size();
+    m.threads_per_rank = pool.num_threads();
 
     std::vector<Count> counts(num_candidates, 0);
     if (parallel_internal::TryTrianglePass2(db, slice, prev, candidates, k,
-                                            config.apriori,
+                                            config.apriori, &pool,
                                             std::span<Count>(counts),
-                                            &m.subset)) {
+                                            &m.subset, &m)) {
       // Triangular pass-2 kernel: one scan, one full-width reduction.
       m.db_scans = 1;
       comm.AllReduceSum(std::span<std::uint64_t>(counts));
@@ -90,10 +92,10 @@ RankOutput RunCdRank(const TransactionDatabase& db, Comm& comm,
         build_span.End();
         obs::ScopedSpan count_span(obs::SpanKind::kSubsetCount,
                                    static_cast<std::int64_t>(chunk));
-        for (std::size_t t = slice.begin; t < slice.end; ++t) {
-          tree.Subset(db.Transaction(t), std::span<Count>(counts),
-                      &m.subset);
-        }
+        TeamCounter team(&pool, &tree, std::span<Count>(counts), &m.subset);
+        team.CountSlice(db, slice);
+        team.Finish();
+        AccumulateShardWork(m.shard_subset_work, team.shard_work());
         count_span.End();
         // Global reduction of this chunk's counts (the paper reduces per
         // hash-tree partition when memory-capped).

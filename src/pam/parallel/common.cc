@@ -45,23 +45,30 @@ ItemsetCollection GenerateCandidates(const ItemsetCollection& prev, int k,
   return candidates;
 }
 
+bool TriangleEligible(int k, const AprioriConfig& config,
+                      std::size_t f1_size) {
+  return k == 2 && config.use_pass2_triangle &&
+         TrianglePairCounter::Fits(f1_size,
+                                   config.max_candidates_in_memory);
+}
+
 bool TryTrianglePass2(const TransactionDatabase& db,
                       TransactionDatabase::Slice slice,
                       const ItemsetCollection& f1,
                       const ItemsetCollection& candidates, int k,
-                      const AprioriConfig& config, std::span<Count> counts,
-                      SubsetStats* stats) {
-  if (k != 2 || !config.use_pass2_triangle ||
-      !TrianglePairCounter::Fits(f1.size(),
-                                 config.max_candidates_in_memory)) {
-    return false;
-  }
+                      const AprioriConfig& config, CountingPool* pool,
+                      std::span<Count> counts, SubsetStats* stats,
+                      PassMetrics* metrics) {
+  if (!TriangleEligible(k, config, f1.size())) return false;
   TrianglePairCounter tri(f1);
   {
     obs::ScopedSpan count_span(obs::SpanKind::kSubsetCount, /*index=*/0,
                                "triangle");
-    for (std::size_t t = slice.begin; t < slice.end; ++t) {
-      tri.AddTransaction(db.Transaction(t), stats);
+    TriangleTeam team(pool, &tri, stats);
+    team.CountSlice(db, slice);
+    team.Finish();
+    if (metrics != nullptr) {
+      AccumulateShardWork(metrics->shard_subset_work, team.shard_work());
     }
   }
   tri.Extract(candidates, counts);

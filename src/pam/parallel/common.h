@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "pam/core/candidate_partition.h"
+#include "pam/core/count_team.h"
 #include "pam/core/serial_apriori.h"
+#include "pam/hashtree/counting_pool.h"
 #include "pam/mp/comm.h"
 #include "pam/parallel/metrics.h"
 #include "pam/tdb/database.h"
@@ -77,19 +79,28 @@ ItemsetCollection GenerateCandidates(const ItemsetCollection& prev, int k,
                                      const std::vector<Count>& dhp_buckets,
                                      Count minsup);
 
-/// Pass-2 specialization of the common counting path (CD counts the full
-/// candidate set over its local slice): when `k == 2`, the triangle flag
-/// is on, and the R*(R-1)/2 counter array fits the candidate-memory cap,
+/// True when pass k may use the pass-2 triangle kernel instead of a hash
+/// tree: k == 2, the flag is on, and the R*(R-1)/2 counter array fits the
+/// candidate-memory cap. Deterministic from replicated inputs, so every
+/// rank takes the same branch.
+bool TriangleEligible(int k, const AprioriConfig& config,
+                      std::size_t f1_size);
+
+/// Pass-2 specialization of the common counting path (CD and HPA count the
+/// full candidate set over their local slice): when TriangleEligible,
 /// counts all pairs of frequent items into a flat triangular array over
-/// F_1 ranks and scatters the result into `counts`, bypassing the hash
-/// tree (see TrianglePairCounter). Returns false when ineligible; the
-/// caller falls back to chunked hash-tree counting.
+/// F_1 ranks — through the intra-rank counting team of `pool` — and
+/// scatters the result into `counts`, bypassing the hash tree (see
+/// TrianglePairCounter). Records per-shard work into `metrics` when
+/// non-null. Returns false when ineligible; the caller falls back to
+/// chunked hash-tree counting.
 bool TryTrianglePass2(const TransactionDatabase& db,
                       TransactionDatabase::Slice slice,
                       const ItemsetCollection& f1,
                       const ItemsetCollection& candidates, int k,
-                      const AprioriConfig& config, std::span<Count> counts,
-                      SubsetStats* stats);
+                      const AprioriConfig& config, CountingPool* pool,
+                      std::span<Count> counts, SubsetStats* stats,
+                      PassMetrics* metrics);
 
 /// Serializes `sets`, all-gathers across `comm`, and returns the
 /// lexicographically sorted union (partitions must be disjoint). Adds the

@@ -1,4 +1,5 @@
 #include <cstring>
+#include <optional>
 
 #include "pam/core/apriori_gen.h"
 #include "pam/obs/trace.h"
@@ -83,6 +84,7 @@ RankOutput RunDdRank(const TransactionDatabase& db, Comm& comm,
   const TransactionDatabase::Slice slice = db.RankSlice(rank, p);
   const Count minsup = config.apriori.ResolveMinsup(db.size());
   std::vector<Count> dhp_buckets;  // PDM-style DHP filter state (optional)
+  CountingPool pool(config.apriori.threads_per_rank);
 
   {
     obs::ScopedSpan pass_span(obs::SpanKind::kPass, /*pass_k=*/1, -1,
@@ -120,25 +122,38 @@ RankOutput RunDdRank(const TransactionDatabase& db, Comm& comm,
       break;
     }
     m.num_candidates_global = candidates.size();
+    m.threads_per_rank = pool.num_threads();
     CandidatePartition partition =
         PartitionRoundRobin(candidates.size(), p);
     std::vector<std::uint32_t> my_ids =
         partition.ids_per_part[static_cast<std::size_t>(rank)];
     m.num_candidates_local = my_ids.size();
 
-    obs::ScopedSpan build_span(obs::SpanKind::kTreeBuild);
-    HashTree tree(candidates, my_ids, config.apriori.tree);
-    m.tree_build_inserts = tree.build_inserts();
-    build_span.End();
-
+    // Pass-2 triangle: every transaction circulates through every rank, so
+    // counting all F1 pairs locally yields complete counts for the owned
+    // round-robin share without any hash tree.
+    const bool triangle = parallel_internal::TriangleEligible(
+        k, config.apriori, prev.size());
+    std::optional<TrianglePairCounter> tri;
+    std::optional<TriangleTeam> tri_team;
+    std::optional<HashTree> tree;
+    std::optional<TeamCounter> tree_team;
     std::vector<Count> counts(candidates.size(), 0);
+    if (triangle) {
+      tri.emplace(prev);
+      tri_team.emplace(&pool, &*tri, &m.subset);
+    } else {
+      obs::ScopedSpan build_span(obs::SpanKind::kTreeBuild);
+      tree.emplace(candidates, my_ids, config.apriori.tree);
+      m.tree_build_inserts = tree->build_inserts();
+      build_span.End();
+      tree_team.emplace(&pool, &*tree, std::span<Count>(counts), &m.subset);
+    }
     std::int64_t page_index = 0;
     auto process = [&](PageView page) {
       obs::ScopedSpan count_span(obs::SpanKind::kSubsetCount, page_index++);
-      ForEachTransaction(page, [&](ItemSpan tx) {
-        tree.Subset(tx, std::span<Count>(counts), &m.subset);
-        ++m.transactions_processed;
-      });
+      m.transactions_processed +=
+          triangle ? tri_team->CountPage(page) : tree_team->CountPage(page);
     };
     const std::vector<Page> local_pages =
         Paginate(db, slice, config.page_bytes);
@@ -147,6 +162,14 @@ RankOutput RunDdRank(const TransactionDatabase& db, Comm& comm,
           RingShiftAll(comm, local_pages, process, &m.data_messages_sent);
     } else {
       DdAllToAllMovement(comm, local_pages, process, &m);
+    }
+    if (triangle) {
+      tri_team->Finish();
+      AccumulateShardWork(m.shard_subset_work, tri_team->shard_work());
+      tri->Extract(candidates, std::span<Count>(counts));
+    } else {
+      tree_team->Finish();
+      AccumulateShardWork(m.shard_subset_work, tree_team->shard_work());
     }
 
     // Counts of owned candidates are complete (every transaction passed

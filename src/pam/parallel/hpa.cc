@@ -154,6 +154,7 @@ RankOutput RunHpaRank(const TransactionDatabase& db, Comm& comm,
   const TransactionDatabase::Slice slice = db.RankSlice(rank, p);
   const Count minsup = config.apriori.ResolveMinsup(db.size());
   std::vector<Count> dhp_buckets;  // PDM-style DHP filter state (optional)
+  CountingPool pool(config.apriori.threads_per_rank);
 
   {
     obs::ScopedSpan pass_span(obs::SpanKind::kPass, /*pass_k=*/1, -1,
@@ -201,31 +202,44 @@ RankOutput RunHpaRank(const TransactionDatabase& db, Comm& comm,
       }
     }
     m.num_candidates_local = my_ids.size();
-    m.tree_build_inserts = my_ids.size();
+    m.threads_per_rank = pool.num_threads();
 
     std::vector<Count> counts(candidates.size(), 0);
-    SubsetRouter router(
-        comm, k, config.page_bytes / sizeof(Item),
-        [&](ItemSpan subset) {
-          ++m.subset.leaf_candidates_checked;
-          const std::size_t idx = candidates.Find(subset);
-          if (idx != ItemsetCollection::npos) ++counts[idx];
-        },
-        &m);
-    {
-      // The routing loop and the closing drain are HPA's all-to-all: the
-      // potential candidates themselves move, interleaved with local
-      // probes.
-      obs::ScopedSpan exchange_span(obs::SpanKind::kAllToAll, -1,
-                                    "hpa_subsets");
-      for (std::size_t t = slice.begin; t < slice.end; ++t) {
-        router.RouteTransaction(db.Transaction(t));
-        ++m.transactions_processed;
+    if (parallel_internal::TryTrianglePass2(db, slice, prev, candidates, k,
+                                            config.apriori, &pool,
+                                            std::span<Count>(counts),
+                                            &m.subset, &m)) {
+      // Pass-2 triangle: count the full pair set over the local slice and
+      // reduce CD-style — no subsets move on the wire at k == 2. Hash
+      // ownership (my_ids) still partitions the frequent-set exchange.
+      m.transactions_processed = slice.size();
+      comm.AllReduceSum(std::span<std::uint64_t>(counts));
+      m.reduction_words += counts.size();
+    } else {
+      m.tree_build_inserts = my_ids.size();
+      SubsetRouter router(
+          comm, k, config.page_bytes / sizeof(Item),
+          [&](ItemSpan subset) {
+            ++m.subset.leaf_candidates_checked;
+            const std::size_t idx = candidates.Find(subset);
+            if (idx != ItemsetCollection::npos) ++counts[idx];
+          },
+          &m);
+      {
+        // The routing loop and the closing drain are HPA's all-to-all: the
+        // potential candidates themselves move, interleaved with local
+        // probes.
+        obs::ScopedSpan exchange_span(obs::SpanKind::kAllToAll, -1,
+                                      "hpa_subsets");
+        for (std::size_t t = slice.begin; t < slice.end; ++t) {
+          router.RouteTransaction(db.Transaction(t));
+          ++m.transactions_processed;
+        }
+        router.Finish();
       }
-      router.Finish();
+      comm.Barrier();
+      m.subset.transactions = m.transactions_processed;
     }
-    comm.Barrier();
-    m.subset.transactions = m.transactions_processed;
 
     candidates.counts() = std::move(counts);
     ItemsetCollection local_frequent =

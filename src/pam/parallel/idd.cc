@@ -1,3 +1,5 @@
+#include <optional>
+
 #include "pam/core/apriori_gen.h"
 #include "pam/obs/trace.h"
 #include "pam/parallel/algorithms.h"
@@ -30,6 +32,7 @@ RankOutput RunIddRank(const TransactionDatabase& db, Comm& comm,
           : db.RankSlice(rank, p);
   const Count minsup = config.apriori.ResolveMinsup(db.size());
   std::vector<Count> dhp_buckets;  // PDM-style DHP filter state (optional)
+  CountingPool pool(config.apriori.threads_per_rank);
 
   {
     obs::ScopedSpan pass_span(obs::SpanKind::kPass, /*pass_k=*/1, -1,
@@ -68,6 +71,7 @@ RankOutput RunIddRank(const TransactionDatabase& db, Comm& comm,
       break;
     }
     m.num_candidates_global = candidates.size();
+    m.threads_per_rank = pool.num_threads();
     CandidatePartition partition = PartitionByPrefix(
         candidates, db.NumItems(), p, config.prefix_strategy,
         config.split_heavy_prefixes);
@@ -75,28 +79,49 @@ RankOutput RunIddRank(const TransactionDatabase& db, Comm& comm,
         partition.ids_per_part[static_cast<std::size_t>(rank)];
     m.num_candidates_local = my_ids.size();
 
-    obs::ScopedSpan build_span(obs::SpanKind::kTreeBuild);
-    HashTree tree(candidates, my_ids, config.apriori.tree);
-    m.tree_build_inserts = tree.build_inserts();
-    build_span.End();
-    const Bitmap* filter =
-        config.idd_use_bitmap
-            ? &partition.first_item_filter[static_cast<std::size_t>(rank)]
-            : nullptr;
-
+    // Pass-2 triangle: the ring pipeline delivers every transaction to
+    // every rank, so counting all F1 pairs locally yields complete counts
+    // for the owned prefix partition — no hash tree, no root bitmap.
+    const bool triangle = parallel_internal::TriangleEligible(
+        k, config.apriori, prev.size());
+    std::optional<TrianglePairCounter> tri;
+    std::optional<TriangleTeam> tri_team;
+    std::optional<HashTree> tree;
+    std::optional<TeamCounter> tree_team;
     std::vector<Count> counts(candidates.size(), 0);
+    if (triangle) {
+      tri.emplace(prev);
+      tri_team.emplace(&pool, &*tri, &m.subset);
+    } else {
+      obs::ScopedSpan build_span(obs::SpanKind::kTreeBuild);
+      tree.emplace(candidates, my_ids, config.apriori.tree);
+      m.tree_build_inserts = tree->build_inserts();
+      build_span.End();
+      const Bitmap* filter =
+          config.idd_use_bitmap
+              ? &partition.first_item_filter[static_cast<std::size_t>(rank)]
+              : nullptr;
+      tree_team.emplace(&pool, &*tree, std::span<Count>(counts), &m.subset,
+                        filter);
+    }
     std::int64_t page_index = 0;
     auto process = [&](PageView page) {
       obs::ScopedSpan count_span(obs::SpanKind::kSubsetCount, page_index++);
-      ForEachTransaction(page, [&](ItemSpan tx) {
-        tree.Subset(tx, std::span<Count>(counts), &m.subset, filter);
-        ++m.transactions_processed;
-      });
+      m.transactions_processed +=
+          triangle ? tri_team->CountPage(page) : tree_team->CountPage(page);
     };
     const std::vector<Page> local_pages =
         Paginate(db, slice, config.page_bytes);
     m.data_bytes_sent +=
         RingShiftAll(comm, local_pages, process, &m.data_messages_sent);
+    if (triangle) {
+      tri_team->Finish();
+      AccumulateShardWork(m.shard_subset_work, tri_team->shard_work());
+      tri->Extract(candidates, std::span<Count>(counts));
+    } else {
+      tree_team->Finish();
+      AccumulateShardWork(m.shard_subset_work, tree_team->shard_work());
+    }
 
     candidates.counts() = std::move(counts);
     ItemsetCollection local_frequent =

@@ -66,6 +66,13 @@ struct PassMetrics {
   int grid_rows = 1;
   int grid_cols = 1;
 
+  /// Intra-rank counting team shape this pass (DESIGN.md §11): configured
+  /// team size, and the subset work (traversal steps + candidates checked)
+  /// each shard performed, in shard order. shard_subset_work is empty when
+  /// the team was inactive (threads_per_rank == 1 or nothing counted).
+  int threads_per_rank = 1;
+  std::vector<std::uint64_t> shard_subset_work;
+
   /// Local wall-clock (informational only; figures use the cost model).
   double wall_seconds = 0.0;
 };

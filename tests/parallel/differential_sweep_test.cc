@@ -1,8 +1,9 @@
 // Randomized differential sweep: for each seed, draw mining configurations
 // from the cross product {minsup} x {num_ranks} x {page_bytes} x
-// {use_pass2_triangle} and check that CD, DD, IDD and HD each produce the
-// serial Apriori result byte-for-byte. Fault injection is off here; the
-// chaos harness (tests/testing/chaos_test.cc) covers the faulty transport.
+// {use_pass2_triangle} x {threads_per_rank} and check that CD, DD, IDD,
+// HD and HPA each produce the serial Apriori result byte-for-byte. Fault
+// injection is off here; the chaos harness (tests/testing/chaos_test.cc)
+// covers the faulty transport.
 //
 // The draw is deterministic per seed, so a failure report of the form
 // "seed=202 draw=3" is enough to reproduce a cell exactly.
@@ -35,16 +36,22 @@ TEST_P(DifferentialSweep, AllAlgorithmsMatchSerial) {
   const double minsups[] = {0.015, 0.02, 0.03};
   const int ranks[] = {2, 3, 4, 6, 8};
   const std::size_t pages[] = {256, 512, 4096};
+  const int threads[] = {1, 2, 3};
 
   constexpr int kDrawsPerSeed = 4;
   for (int draw = 0; draw < kDrawsPerSeed; ++draw) {
     AprioriConfig serial_cfg;
     serial_cfg.minsup_fraction = minsups[rng.NextBounded(3)];
     serial_cfg.use_pass2_triangle = rng.NextBounded(2) == 1;
+    serial_cfg.threads_per_rank = threads[rng.NextBounded(3)];
     const int p = ranks[rng.NextBounded(5)];
     const std::size_t page_bytes = pages[rng.NextBounded(3)];
 
-    const auto serial_flat = testing::SerialReference(db, serial_cfg);
+    // The reference is always single-threaded; parallel runs draw their
+    // own team size so the sweep crosses it with everything else.
+    AprioriConfig reference_cfg = serial_cfg;
+    reference_cfg.threads_per_rank = 1;
+    const auto serial_flat = testing::SerialReference(db, reference_cfg);
     ASSERT_FALSE(serial_flat.empty());
 
     ParallelConfig cfg;
@@ -52,14 +59,15 @@ TEST_P(DifferentialSweep, AllAlgorithmsMatchSerial) {
     cfg.page_bytes = page_bytes;
     cfg.hd_threshold_m = 100;  // force HD onto real grids
     for (Algorithm alg : {Algorithm::kCD, Algorithm::kDD, Algorithm::kIDD,
-                          Algorithm::kHD}) {
+                          Algorithm::kHD, Algorithm::kHPA}) {
       const std::string label =
           AlgorithmName(alg) + " seed=" + std::to_string(seed) +
           " draw=" + std::to_string(draw) +
           " minsup=" + std::to_string(serial_cfg.minsup_fraction) +
           " P=" + std::to_string(p) +
           " page=" + std::to_string(page_bytes) + " tri=" +
-          (serial_cfg.use_pass2_triangle ? "1" : "0");
+          (serial_cfg.use_pass2_triangle ? "1" : "0") +
+          " threads=" + std::to_string(serial_cfg.threads_per_rank);
       ParallelResult result = MineParallel(alg, db, p, cfg);
       testing::ExpectMatchesSerial(result, serial_flat, label);
       EXPECT_EQ(result.metrics.TotalFaultsInjected(), 0u) << label;

@@ -30,6 +30,9 @@ TEST(HpaTest, SubsetGenerationCountIdentity) {
   ParallelConfig cfg;
   cfg.apriori.minsup_count = 2;
   cfg.apriori.max_k = 3;
+  // The pass-2 triangle path counts pairs without routing subsets; pin it
+  // off so the identity holds for every pass.
+  cfg.apriori.use_pass2_triangle = false;
   const int p = 3;
   ParallelResult hpa = MineParallel(Algorithm::kHPA, db, p, cfg);
 
@@ -95,6 +98,8 @@ TEST(HpaTest, ShortTransactionsGenerateNoSubsets) {
   db.Add({1, 2});
   ParallelConfig cfg;
   cfg.apriori.minsup_count = 2;
+  // Count subsets through the router, not the pass-2 triangle kernel.
+  cfg.apriori.use_pass2_triangle = false;
   ParallelResult hpa = MineParallel(Algorithm::kHPA, db, 2, cfg);
   ASSERT_GE(hpa.metrics.num_passes(), 2);
   // Pass 2: only the two {1,2} transactions yield subsets.

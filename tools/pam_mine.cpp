@@ -34,6 +34,9 @@ constexpr const char* kUsage = R"(usage: pam_mine [flags]
   --algorithm ALG    serial | cd | dd | ddcomm | idd | hd | hpa
                      (default serial)
   --ranks P          logical processors for parallel algorithms (default 4)
+  --threads-per-rank T
+                     intra-rank counting team size (default 1 = serial
+                     counting; results are identical for every T)
   --hd-threshold M   HD candidate threshold m (default 50000)
   --max-k K          stop after pass K (default: run to completion)
   --rules            also generate association rules
@@ -105,7 +108,8 @@ int main(int argc, char** argv) {
       "ranks",   "rules",   "top",     "max-k",         "hd-threshold",
       "machine", "explain", "stats",   "maximal",       "save-itemsets",
       "dhp",     "help",    "fault-kind", "fault-rate",  "fault-seed",
-      "fault-retries", "fault-timeout", "trace-out", "metrics-out"};
+      "fault-retries", "fault-timeout", "trace-out", "metrics-out",
+      "threads-per-rank"};
   for (const std::string& f : flags.UnknownFlags(known)) {
     std::fprintf(stderr, "error: unknown flag --%s\n%s", f.c_str(), kUsage);
     return 2;
@@ -138,6 +142,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.GetInt("hd-threshold", 50000));
   config.apriori.dhp_buckets =
       static_cast<std::size_t>(flags.GetInt("dhp", 0));
+  config.apriori.threads_per_rank =
+      static_cast<int>(flags.GetInt("threads-per-rank", 1));
   const std::size_t top =
       static_cast<std::size_t>(flags.GetInt("top", 20));
 
