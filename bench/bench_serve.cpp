@@ -1,0 +1,317 @@
+// Serving benchmark for the pam_serve mining server, in the style of the
+// Shardmap tpcb_run driver: a multi-tenant request-mix generator drives
+// the in-process daemon closed-loop, and the harness reports throughput
+// and p50/p95/p99 request latency per client-concurrency level, plus an
+// open-loop overload burst that exercises the admission-control and
+// tenant-quota rejection paths. Writes BENCH_serve.json (the serving perf
+// trajectory; committed at the repo root like BENCH_comm.json).
+//
+// Every mix cell is also verified against a solo MiningSession run of the
+// same request — the server must add scheduling, never arithmetic — and
+// the harness exits non-zero on any mismatch.
+//
+//   bench_serve [--smoke]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "pam/serve/server.h"
+
+namespace {
+
+using pam::MiningAlgorithm;
+using pam::MiningRequest;
+using pam::serve::MiningServer;
+using pam::serve::ServeResponse;
+using pam::serve::ServerConfig;
+using pam::serve::ServerStats;
+
+/// One cell of the request mix: which tenant asks for what.
+struct MixCell {
+  const char* tenant;
+  const char* dataset;
+  MiningAlgorithm algorithm;
+  int ranks;
+  double minsup_fraction;
+  bool rules;
+  int threads;
+};
+
+/// The steady-state mix: four tenants with distinct algorithm diets over
+/// two shared datasets, so the cache serves cross-tenant hits and the
+/// rank pool sees wide (HD/HPA) and narrow (serial) requests interleaved.
+const MixCell kMix[] = {
+    {"alpha", "retail", MiningAlgorithm::kSerial, 1, 0.02, false, 1},
+    {"alpha", "retail", MiningAlgorithm::kCD, 4, 0.02, false, 1},
+    {"beta", "retail", MiningAlgorithm::kDD, 4, 0.025, false, 1},
+    {"beta", "web", MiningAlgorithm::kDDComm, 2, 0.03, false, 1},
+    {"gamma", "web", MiningAlgorithm::kIDD, 4, 0.03, false, 1},
+    {"gamma", "retail", MiningAlgorithm::kHD, 4, 0.025, false, 1},
+    {"delta", "web", MiningAlgorithm::kHPA, 3, 0.03, false, 2},
+    {"delta", "retail", MiningAlgorithm::kSerial, 1, 0.02, true, 1},
+};
+
+MiningRequest RequestOf(const MixCell& cell) {
+  MiningRequest request;
+  request.tenant = cell.tenant;
+  request.dataset = cell.dataset;
+  request.algorithm = cell.algorithm;
+  request.num_ranks = cell.ranks;
+  request.config.apriori.minsup_fraction = cell.minsup_fraction;
+  request.config.apriori.threads_per_rank = cell.threads;
+  request.generate_rules = cell.rules;
+  return request;
+}
+
+struct SectionResult {
+  int clients = 0;
+  std::size_t requests = 0;
+  double wall_seconds = 0.0;
+  double throughput_rps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+double PercentileMs(std::vector<double>& sorted_seconds, double q) {
+  if (sorted_seconds.empty()) return 0.0;
+  const std::size_t n = sorted_seconds.size();
+  std::size_t idx = static_cast<std::size_t>(q * static_cast<double>(n));
+  if (idx >= n) idx = n - 1;
+  return sorted_seconds[idx] * 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  pam::bench::Banner(
+      "bench_serve: multi-tenant mining-as-a-service driver",
+      "north-star serving workload (ROADMAP item 1); tpcb_run-style "
+      "request mix");
+
+  // Two shared datasets, generated once and registered with the server's
+  // cache (the cache pays one decode + one payload materialization per
+  // dataset; every request after that is a refcount bump).
+  pam::QuestConfig retail_cfg =
+      pam::bench::PaperWorkload(pam::bench::ScaledN(smoke ? 600 : 2000));
+  retail_cfg.num_items = 200;
+  pam::QuestConfig web_cfg;
+  web_cfg.num_transactions = pam::bench::ScaledN(smoke ? 400 : 1200);
+  web_cfg.num_items = 120;
+  web_cfg.avg_transaction_len = 9;
+  web_cfg.avg_pattern_len = 4;
+  web_cfg.num_patterns = 60;
+  web_cfg.seed = 4242;
+  const pam::TransactionDatabase retail = pam::GenerateQuest(retail_cfg);
+  const pam::TransactionDatabase web = pam::GenerateQuest(web_cfg);
+  std::printf("datasets: retail %zu tx, web %zu tx\n", retail.size(),
+              web.size());
+
+  // Solo references for every mix cell, mined outside the server.
+  std::map<const MixCell*, std::map<std::vector<pam::Item>, pam::Count>>
+      references;
+  for (const MixCell& cell : kMix) {
+    const pam::TransactionDatabase& db =
+        std::string(cell.dataset) == "retail" ? retail : web;
+    pam::MiningSession solo;
+    pam::MiningReport report = solo.Run(RequestOf(cell), db);
+    std::map<std::vector<pam::Item>, pam::Count> flat;
+    for (const auto& level : report.frequent.levels) {
+      for (std::size_t i = 0; i < level.size(); ++i) {
+        pam::ItemSpan s = level.Get(i);
+        flat[std::vector<pam::Item>(s.begin(), s.end())] = level.count(i);
+      }
+    }
+    references[&cell] = std::move(flat);
+  }
+
+  ServerConfig config;
+  config.pool_ranks = 8;
+  config.workers = 4;
+  config.max_queue = 256;
+
+  const std::vector<int> client_counts =
+      smoke ? std::vector<int>{2} : std::vector<int>{1, 4, 8};
+  const int iters_per_client = smoke ? 8 : 24;
+
+  std::vector<SectionResult> sections;
+  bool mismatch = false;
+
+  for (const int clients : client_counts) {
+    MiningServer server(config);
+    server.datasets().RegisterLoaded("retail",
+                                     pam::TransactionDatabase(retail));
+    server.datasets().RegisterLoaded("web", pam::TransactionDatabase(web));
+
+    std::vector<std::vector<double>> latencies(
+        static_cast<std::size_t>(clients));
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        constexpr std::size_t kMixSize = sizeof(kMix) / sizeof(kMix[0]);
+        for (int i = 0; i < iters_per_client; ++i) {
+          const MixCell& cell =
+              kMix[(static_cast<std::size_t>(c) + // stagger clients
+                    static_cast<std::size_t>(i)) % kMixSize];
+          const auto start = std::chrono::steady_clock::now();
+          ServeResponse response = server.Execute(RequestOf(cell));
+          const auto end = std::chrono::steady_clock::now();
+          latencies[static_cast<std::size_t>(c)].push_back(
+              std::chrono::duration<double>(end - start).count());
+          if (!response.ok()) {
+            std::printf("UNEXPECTED non-ok response: %s (%s)\n",
+                        pam::serve::ServeStatusName(response.status),
+                        response.error.c_str());
+            mismatch = true;
+          } else {
+            // Exactness: the served result must equal the solo run.
+            std::map<std::vector<pam::Item>, pam::Count> flat;
+            for (const auto& level : response.report.frequent.levels) {
+              for (std::size_t s = 0; s < level.size(); ++s) {
+                pam::ItemSpan span = level.Get(s);
+                flat[std::vector<pam::Item>(span.begin(), span.end())] =
+                    level.count(s);
+              }
+            }
+            if (flat != references[&cell]) {
+              std::printf("MISMATCH: %s/%s served result != solo run\n",
+                          cell.tenant,
+                          pam::MiningAlgorithmName(cell.algorithm).c_str());
+              mismatch = true;
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    const ServerStats stats = server.Stats();
+    server.Shutdown();
+
+    std::vector<double> all;
+    for (const auto& per_client : latencies) {
+      all.insert(all.end(), per_client.begin(), per_client.end());
+    }
+    std::sort(all.begin(), all.end());
+
+    SectionResult section;
+    section.clients = clients;
+    section.requests = all.size();
+    section.wall_seconds = wall;
+    section.throughput_rps =
+        wall > 0.0 ? static_cast<double>(all.size()) / wall : 0.0;
+    section.p50_ms = PercentileMs(all, 0.50);
+    section.p95_ms = PercentileMs(all, 0.95);
+    section.p99_ms = PercentileMs(all, 0.99);
+    section.max_ms = all.empty() ? 0.0 : all.back() * 1e3;
+    section.cache_hits = stats.cache_hits;
+    section.cache_misses = stats.cache_misses;
+    sections.push_back(section);
+
+    std::printf(
+        "clients=%d  %zu req in %.2fs  %.1f req/s  p50 %.1fms  p95 %.1fms "
+        " p99 %.1fms  max %.1fms  cache %llu/%llu hits\n",
+        clients, section.requests, wall, section.throughput_rps,
+        section.p50_ms, section.p95_ms, section.p99_ms, section.max_ms,
+        static_cast<unsigned long long>(section.cache_hits),
+        static_cast<unsigned long long>(section.cache_hits +
+                                        section.cache_misses));
+  }
+
+  // Overload burst: a deliberately tiny server hammered open-loop, so the
+  // bounded queue and the per-tenant in-flight quota must both reject.
+  ServerConfig tiny;
+  tiny.pool_ranks = 4;
+  tiny.workers = 2;
+  tiny.max_queue = 4;
+  tiny.tenant_quotas["alpha"] = {/*max_in_flight=*/2, /*rank_seconds=*/0.0};
+  MiningServer overload(tiny);
+  overload.datasets().RegisterLoaded("web", pam::TransactionDatabase(web));
+  std::vector<std::future<ServeResponse>> burst;
+  const int burst_size = smoke ? 24 : 64;
+  for (int i = 0; i < burst_size; ++i) {
+    MiningRequest request;
+    request.tenant = i % 2 == 0 ? "alpha" : "beta";
+    request.dataset = "web";
+    request.algorithm = MiningAlgorithm::kCD;
+    request.num_ranks = 2;
+    request.config.apriori.minsup_fraction = 0.03;
+    burst.push_back(overload.Submit(std::move(request)));
+  }
+  std::size_t burst_ok = 0;
+  for (auto& f : burst) {
+    if (f.get().ok()) ++burst_ok;
+  }
+  const ServerStats burst_stats = overload.Stats();
+  overload.Shutdown();
+  std::printf(
+      "overload burst: %d submitted, %zu ok, %llu queue_full, %llu "
+      "quota rejections (typed, synchronous)\n",
+      burst_size, burst_ok,
+      static_cast<unsigned long long>(burst_stats.rejected_queue_full),
+      static_cast<unsigned long long>(
+          burst_stats.rejected_tenant_in_flight));
+  if (burst_stats.submitted !=
+      burst_stats.admitted + burst_stats.TotalRejected()) {
+    std::printf("MISMATCH: admission accounting does not balance\n");
+    mismatch = true;
+  }
+
+  std::FILE* f = std::fopen("BENCH_serve.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\n  \"bench\": \"serve\",\n  \"smoke\": %s,\n"
+                 "  \"pool_ranks\": %d,\n  \"workers\": %d,\n"
+                 "  \"tenants\": 4,\n  \"datasets\": 2,\n"
+                 "  \"retail_transactions\": %zu,\n"
+                 "  \"web_transactions\": %zu,\n  \"sections\": [\n",
+                 smoke ? "true" : "false", config.pool_ranks,
+                 config.workers, retail.size(), web.size());
+    for (std::size_t i = 0; i < sections.size(); ++i) {
+      const SectionResult& s = sections[i];
+      std::fprintf(
+          f,
+          "    {\"clients\": %d, \"requests\": %zu, \"wall_seconds\": "
+          "%.4f, \"throughput_rps\": %.2f, \"p50_ms\": %.3f, \"p95_ms\": "
+          "%.3f, \"p99_ms\": %.3f, \"max_ms\": %.3f, \"cache_hits\": "
+          "%llu, \"cache_misses\": %llu}%s\n",
+          s.clients, s.requests, s.wall_seconds, s.throughput_rps,
+          s.p50_ms, s.p95_ms, s.p99_ms, s.max_ms,
+          static_cast<unsigned long long>(s.cache_hits),
+          static_cast<unsigned long long>(s.cache_misses),
+          i + 1 < sections.size() ? "," : "");
+    }
+    std::fprintf(
+        f,
+        "  ],\n  \"overload\": {\"submitted\": %llu, \"admitted\": %llu, "
+        "\"queue_full\": %llu, \"tenant_in_flight\": %llu}\n}\n",
+        static_cast<unsigned long long>(burst_stats.submitted),
+        static_cast<unsigned long long>(burst_stats.admitted),
+        static_cast<unsigned long long>(burst_stats.rejected_queue_full),
+        static_cast<unsigned long long>(
+            burst_stats.rejected_tenant_in_flight));
+    std::fclose(f);
+    std::printf("wrote BENCH_serve.json\n");
+  }
+
+  if (mismatch) {
+    std::printf("FAILED: served results diverged from solo runs\n");
+    return 1;
+  }
+  std::printf("all served results byte-identical to solo runs\n");
+  return 0;
+}

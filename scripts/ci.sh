@@ -12,8 +12,9 @@
 #
 # The tsan job builds under ThreadSanitizer and runs the suites that
 # exercise real threads: the intra-rank counting team differentials
-# (label `threaded`) and the chaos matrix (rank threads + counting
-# workers over a faulty transport).
+# (label `threaded`), the chaos matrix (rank threads + counting workers
+# over a faulty transport), and the mining-server suite (label `serve`:
+# concurrent tenants over a shared rank pool and dataset cache).
 #
 #   scripts/ci.sh [release|sanitize|tsan]   (default: all)
 set -euo pipefail
@@ -39,10 +40,10 @@ run_chaos_sanitized() {
 }
 
 run_tsan() {
-  echo "=== threaded + chaos suites under TSan ==="
+  echo "=== threaded + chaos + serve suites under TSan ==="
   cmake --preset tsan
   cmake --build --preset tsan
-  ctest --preset tsan -L 'threaded|chaos' --timeout "$test_timeout"
+  ctest --preset tsan -L 'threaded|chaos|serve' --timeout "$test_timeout"
 }
 
 # Smoke pass of the transport benchmark: exercises the zero-copy vs
@@ -51,6 +52,33 @@ run_tsan() {
 run_bench_comm_smoke() {
   echo "=== bench_comm smoke ==="
   (cd build-release/bench && ./bench_comm --smoke)
+}
+
+# Smoke pass of the serving benchmark: drives the multi-tenant mining
+# server with the mixed-algorithm request mix plus the open-loop overload
+# burst (bench_serve exits non-zero if any served result diverges from a
+# solo run), then checks the emitted BENCH_serve.json shape.
+run_bench_serve_smoke() {
+  echo "=== bench_serve smoke ==="
+  (cd build-release/bench && ./bench_serve --smoke)
+  python3 - build-release/bench/BENCH_serve.json <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["bench"] == "serve", doc
+assert doc["pool_ranks"] > 0 and doc["workers"] > 0
+sections = doc["sections"]
+assert sections, "no sections"
+for s in sections:
+    assert s["requests"] > 0 and s["throughput_rps"] > 0, s
+    assert 0 < s["p50_ms"] <= s["p95_ms"] <= s["p99_ms"], s
+over = doc["overload"]
+assert over["submitted"] == over["admitted"] + over["queue_full"] + \
+    over["tenant_in_flight"], over
+assert over["queue_full"] > 0, "overload burst never filled the queue"
+print(f"BENCH_serve.json: {len(sections)} sections, "
+      f"{over['queue_full']} queue-full rejections: ok")
+PYEOF
 }
 
 # One traced P=4 mining run per formulation through the MiningSession CLI
@@ -94,6 +122,7 @@ case "${1:-all}" in
   release)
     run_preset release
     run_bench_comm_smoke
+    run_bench_serve_smoke
     run_traced_smoke
     ;;
   sanitize)
@@ -106,6 +135,7 @@ case "${1:-all}" in
   all)
     run_preset release
     run_bench_comm_smoke
+    run_bench_serve_smoke
     run_traced_smoke
     run_preset sanitize
     run_chaos_sanitized

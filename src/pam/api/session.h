@@ -55,6 +55,13 @@ struct MiningRequest {
   /// Off by default: a session with no observers and no timeline request
   /// runs the exact zero-overhead path of the legacy entry points.
   bool collect_timeline = false;
+  /// Multi-tenant serving identity (pam/serve/server.h): the tenant the
+  /// request is billed to and the registered dataset id it mines. Ignored
+  /// by direct MiningSession::Run calls, which are handed their database
+  /// explicitly; the MiningServer resolves `dataset` through its cache and
+  /// enforces per-`tenant` admission quotas.
+  std::string tenant;
+  std::string dataset;
 };
 
 /// Everything a mining run produces.

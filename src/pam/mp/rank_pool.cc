@@ -1,0 +1,90 @@
+#include "pam/mp/rank_pool.h"
+
+#include <utility>
+
+namespace pam {
+
+RankLease::RankLease(RankLease&& other) noexcept
+    : pool_(std::exchange(other.pool_, nullptr)),
+      ranks_(std::exchange(other.ranks_, 0)) {}
+
+RankLease& RankLease::operator=(RankLease&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = std::exchange(other.pool_, nullptr);
+    ranks_ = std::exchange(other.ranks_, 0);
+  }
+  return *this;
+}
+
+RankLease::~RankLease() { Release(); }
+
+void RankLease::Release() {
+  if (pool_ != nullptr) {
+    pool_->Return(ranks_);
+    pool_ = nullptr;
+    ranks_ = 0;
+  }
+}
+
+RankPool::RankPool(int capacity)
+    : capacity_(capacity > 0 ? capacity : 1), available_(capacity_) {}
+
+int RankPool::Available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return available_;
+}
+
+int RankPool::LeasesOutstanding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outstanding_;
+}
+
+std::uint64_t RankPool::LeasesGranted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return granted_;
+}
+
+RankLease RankPool::Lease(int ranks) {
+  if (ranks <= 0 || ranks > capacity_) return RankLease();
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::uint64_t ticket = next_ticket_++;
+  cv_.wait(lock, [&] {
+    return closed_ || (serving_ == ticket && available_ >= ranks);
+  });
+  if (closed_) {
+    // This waiter will never be granted; advance the FIFO past it so the
+    // ticket sequence stays dense for any concurrent waiters.
+    if (serving_ == ticket) {
+      ++serving_;
+      cv_.notify_all();
+    }
+    return RankLease();
+  }
+  available_ -= ranks;
+  ++outstanding_;
+  ++granted_;
+  ++serving_;
+  cv_.notify_all();
+  return RankLease(this, ranks);
+}
+
+void RankPool::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+bool RankPool::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+void RankPool::Return(int ranks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  available_ += ranks;
+  --outstanding_;
+  cv_.notify_all();
+}
+
+}  // namespace pam

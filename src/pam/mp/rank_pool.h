@@ -1,0 +1,93 @@
+#ifndef PAM_MP_RANK_POOL_H_
+#define PAM_MP_RANK_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace pam {
+
+class RankPool;
+
+/// RAII lease over a block of logical ranks drawn from a RankPool. A
+/// default-constructed (or moved-from) lease holds nothing; a held lease
+/// returns its ranks to the pool on destruction or explicit Release().
+class RankLease {
+ public:
+  RankLease() = default;
+  RankLease(RankLease&& other) noexcept;
+  RankLease& operator=(RankLease&& other) noexcept;
+  ~RankLease();
+  RankLease(const RankLease&) = delete;
+  RankLease& operator=(const RankLease&) = delete;
+
+  bool held() const { return pool_ != nullptr; }
+  int ranks() const { return ranks_; }
+
+  /// Returns the ranks to the pool now (idempotent).
+  void Release();
+
+ private:
+  friend class RankPool;
+  RankLease(RankPool* pool, int ranks) : pool_(pool), ranks_(ranks) {}
+
+  RankPool* pool_ = nullptr;
+  int ranks_ = 0;
+};
+
+/// A shared pool of logical mining ranks. The serving layer sizes one of
+/// these to the machine (the moral equivalent of "this host runs P rank
+/// threads at a time") and every admitted request leases the rank count it
+/// wants to mine with before spinning up its Runtime; the lease is the
+/// server's back-pressure mechanism, so concurrent requests time-share the
+/// machine instead of oversubscribing it without bound.
+///
+/// Leases are granted strictly in FIFO order: a waiter blocks until every
+/// earlier waiter has been served AND its own rank count is free. The
+/// head-of-line blocking is deliberate — a wide request (P close to
+/// capacity) can never be starved by a stream of narrow ones, which is
+/// what guarantees the soak suite's drain-to-idle property.
+///
+/// Thread-safe. Close() wakes every waiter with an unheld lease, which is
+/// how server shutdown unblocks workers parked in Lease().
+class RankPool {
+ public:
+  explicit RankPool(int capacity);
+
+  int capacity() const { return capacity_; }
+  /// Ranks currently free (not covered by an outstanding lease).
+  int Available() const;
+  /// Leases currently outstanding (granted, not yet released).
+  int LeasesOutstanding() const;
+  /// Total leases ever granted.
+  std::uint64_t LeasesGranted() const;
+
+  /// Blocks until `ranks` ranks are free and every earlier waiter has been
+  /// served, then grants the lease. Returns an unheld lease when `ranks`
+  /// is non-positive, exceeds the pool capacity, or the pool was closed
+  /// (before or during the wait).
+  RankLease Lease(int ranks);
+
+  /// Wakes all waiters; every pending and future Lease() returns unheld.
+  /// Outstanding leases may still be released normally.
+  void Close();
+  bool closed() const;
+
+ private:
+  friend class RankLease;
+  void Return(int ranks);
+
+  const int capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int available_;
+  int outstanding_ = 0;
+  std::uint64_t granted_ = 0;
+  std::uint64_t next_ticket_ = 0;
+  std::uint64_t serving_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace pam
+
+#endif  // PAM_MP_RANK_POOL_H_

@@ -37,6 +37,11 @@ enum class SpanKind : std::uint8_t {
   kSubsetCountShard,
   kFaultRetry,
   kRuleGen,
+  /// One served request of a pam_serve MiningServer, emitted on the worker
+  /// thread that executed it (track = worker id, index = request sequence
+  /// number). Covers rank-lease wait plus the mining run; the nested run
+  /// span taxonomy is available per request via collect_timeline.
+  kServeRequest,
 };
 
 /// Stable lowercase name ("run", "pass", "ring_round", ...), used as the

@@ -33,6 +33,8 @@ const char* SpanKindName(SpanKind kind) {
       return "fault_retry";
     case SpanKind::kRuleGen:
       return "rule_gen";
+    case SpanKind::kServeRequest:
+      return "serve_request";
   }
   return "?";
 }

@@ -1,0 +1,97 @@
+#include "pam/serve/dataset_cache.h"
+
+#include <span>
+#include <utility>
+
+#include "pam/tdb/page_buffer.h"
+
+namespace pam::serve {
+
+void DatasetCache::Register(const std::string& id, Loader loader) {
+  auto entry = std::make_shared<Entry>();
+  entry->loader = std::move(loader);
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[id] = std::move(entry);
+}
+
+void DatasetCache::RegisterLoaded(const std::string& id,
+                                  TransactionDatabase db) {
+  auto shared = std::make_shared<TransactionDatabase>(std::move(db));
+  Register(id, [shared]() -> Result<TransactionDatabase> {
+    // The loader hands out a copy; the cache decodes it once and the copy
+    // is what all requests share thereafter.
+    return Result<TransactionDatabase>(TransactionDatabase(*shared));
+  });
+}
+
+bool DatasetCache::Contains(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(id) > 0;
+}
+
+Result<DatasetHandle> DatasetCache::Get(const std::string& id) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(id);
+    if (it == entries_.end()) {
+      return Result<DatasetHandle>(
+          Status::Error("unknown dataset '" + id + "'"));
+    }
+    entry = it->second;
+  }
+
+  std::lock_guard<std::mutex> entry_lock(entry->mu);
+  if (entry->loaded != nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++hits_;
+    return Result<DatasetHandle>(DatasetHandle(entry->loaded));
+  }
+
+  Result<TransactionDatabase> loaded = entry->loader();
+  if (!loaded.ok()) return Result<DatasetHandle>(loaded.status());
+
+  auto dataset = std::make_shared<CachedDataset>();
+  dataset->id = id;
+  auto db = std::make_shared<TransactionDatabase>(std::move(loaded.value()));
+  dataset->db = db;
+  const TransactionDatabase::Slice whole{0, db->size()};
+  for (Page& page : Paginate(*db, whole, page_bytes_)) {
+    dataset->wire_bytes += PageBytes(page);
+    dataset->pages.push_back(Payload::Copy(std::as_bytes(
+        std::span<const std::uint32_t>(page.data(), page.size()))));
+  }
+  entry->loaded = std::move(dataset);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++misses_;
+  }
+  return Result<DatasetHandle>(DatasetHandle(entry->loaded));
+}
+
+std::uint64_t DatasetCache::Hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t DatasetCache::Misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::size_t DatasetCache::ResidentBytes() const {
+  std::vector<std::shared_ptr<Entry>> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries.reserve(entries_.size());
+    for (const auto& [id, entry] : entries_) entries.push_back(entry);
+  }
+  std::size_t total = 0;
+  for (const auto& entry : entries) {
+    std::lock_guard<std::mutex> entry_lock(entry->mu);
+    if (entry->loaded != nullptr) total += entry->loaded->wire_bytes;
+  }
+  return total;
+}
+
+}  // namespace pam::serve

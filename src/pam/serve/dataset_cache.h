@@ -1,0 +1,103 @@
+#ifndef PAM_SERVE_DATASET_CACHE_H_
+#define PAM_SERVE_DATASET_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pam/mp/payload.h"
+#include "pam/tdb/database.h"
+#include "pam/util/status.h"
+
+namespace pam::serve {
+
+/// One resident dataset: the decoded CSR database every request mines
+/// over, plus its wire image as immutable refcounted Payload pages (the
+/// same page format DD/IDD circulate). Both are built exactly once per
+/// load; every concurrent request over the dataset shares the one copy
+/// through the handle's refcount — a cache hit moves zero bytes, which
+/// the serve suite pins with a BufferPool::CopyCount guard.
+struct CachedDataset {
+  std::string id;
+  std::shared_ptr<const TransactionDatabase> db;
+  /// The dataset serialized into wire pages, each wrapped in a shared
+  /// Payload handle (one Payload::Copy per page, at load time only).
+  /// Ready to feed the transport — e.g. a single-source IDD run ships
+  /// these without re-paginating — and the unit of cross-request sharing.
+  std::vector<Payload> pages;
+  /// Total wire bytes across `pages`.
+  std::size_t wire_bytes = 0;
+
+  std::size_t num_transactions() const { return db == nullptr ? 0 : db->size(); }
+};
+
+/// Shared handle to a cached dataset. Requests hold one for the duration
+/// of their run, so eviction/replacement can never pull a database out
+/// from under an in-flight miner.
+using DatasetHandle = std::shared_ptr<const CachedDataset>;
+
+/// Keyed, lazily-loading dataset cache of the mining server. Datasets are
+/// registered up front (by id) with either a loader or an already-decoded
+/// database; the first Get() materializes the entry — loader, CSR decode,
+/// wire paging — and every later Get() of the same id is a refcount bump.
+///
+/// Keying is by caller-chosen id, not by content: two ids backed by the
+/// same file are two entries (the server's datasets are a small static
+/// catalog, so identity-by-name is the honest contract; see DESIGN.md
+/// §12 "cache keying").
+///
+/// Thread-safe. Concurrent first Gets of one id serialize on the entry,
+/// not the whole cache, so loading a cold dataset never blocks hits on a
+/// hot one.
+class DatasetCache {
+ public:
+  using Loader = std::function<Result<TransactionDatabase>()>;
+
+  /// `page_bytes` sizes the wire pages of every cached dataset's image.
+  explicit DatasetCache(std::size_t page_bytes = 64 * 1024)
+      : page_bytes_(page_bytes) {}
+
+  /// Registers dataset `id`, loaded lazily by `loader` on first Get.
+  /// Re-registering an id replaces its loader and drops any loaded entry
+  /// (outstanding handles stay valid — they own the old copy).
+  void Register(const std::string& id, Loader loader);
+
+  /// Registers an already-decoded database under `id`.
+  void RegisterLoaded(const std::string& id, TransactionDatabase db);
+
+  /// True if `id` has been registered (loaded or not).
+  bool Contains(const std::string& id) const;
+
+  /// The cached dataset, loading it on first use. Fails for an
+  /// unregistered id, or with the loader's error (the failure is not
+  /// cached: a later Get retries the loader).
+  Result<DatasetHandle> Get(const std::string& id);
+
+  /// Gets satisfied by an already-loaded entry / requiring a load.
+  std::uint64_t Hits() const;
+  std::uint64_t Misses() const;
+  /// Total wire bytes resident across loaded entries.
+  std::size_t ResidentBytes() const;
+
+ private:
+  struct Entry {
+    std::mutex mu;
+    Loader loader;
+    DatasetHandle loaded;
+  };
+
+  const std::size_t page_bytes_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace pam::serve
+
+#endif  // PAM_SERVE_DATASET_CACHE_H_

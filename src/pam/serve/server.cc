@@ -1,0 +1,274 @@
+#include "pam/serve/server.h"
+
+#include <utility>
+
+#include "pam/mp/fault.h"
+#include "pam/obs/trace.h"
+
+namespace pam::serve {
+
+const char* ServeStatusName(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk:
+      return "ok";
+    case ServeStatus::kQueueFull:
+      return "queue_full";
+    case ServeStatus::kTenantInFlightExceeded:
+      return "tenant_in_flight_exceeded";
+    case ServeStatus::kTenantBudgetExhausted:
+      return "tenant_budget_exhausted";
+    case ServeStatus::kUnknownDataset:
+      return "unknown_dataset";
+    case ServeStatus::kInvalidRequest:
+      return "invalid_request";
+    case ServeStatus::kShuttingDown:
+      return "shutting_down";
+    case ServeStatus::kMiningFault:
+      return "mining_fault";
+  }
+  return "?";
+}
+
+bool IsRejection(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kQueueFull:
+    case ServeStatus::kTenantInFlightExceeded:
+    case ServeStatus::kTenantBudgetExhausted:
+    case ServeStatus::kUnknownDataset:
+    case ServeStatus::kInvalidRequest:
+    case ServeStatus::kShuttingDown:
+      return true;
+    case ServeStatus::kOk:
+    case ServeStatus::kMiningFault:
+      return false;
+  }
+  return false;
+}
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start,
+                    std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace
+
+MiningServer::MiningServer(const ServerConfig& config)
+    : config_(config),
+      pool_(config.pool_ranks),
+      cache_(config.cache_page_bytes) {
+  serve_obs_.origin = std::chrono::steady_clock::now();
+  const int workers = config_.workers > 0 ? config_.workers : 1;
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    workers_.emplace_back([this, w] { WorkerMain(w); });
+  }
+}
+
+MiningServer::~MiningServer() { Shutdown(); }
+
+void MiningServer::AddTraceSink(obs::TraceSink* sink) {
+  if (sink != nullptr) serve_obs_.trace_sinks.push_back(sink);
+}
+
+const TenantQuota& MiningServer::QuotaFor(const std::string& tenant) const {
+  auto it = config_.tenant_quotas.find(tenant);
+  return it == config_.tenant_quotas.end() ? config_.default_quota
+                                           : it->second;
+}
+
+std::future<ServeResponse> MiningServer::Reject(ServeStatus status,
+                                                std::string error) {
+  std::promise<ServeResponse> promise;
+  ServeResponse response;
+  response.status = status;
+  response.error = std::move(error);
+  promise.set_value(std::move(response));
+  return promise.get_future();
+}
+
+std::future<ServeResponse> MiningServer::Submit(MiningRequest request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.submitted;
+  if (!accepting_) {
+    ++stats_.rejected_shutdown;
+    return Reject(ServeStatus::kShuttingDown, "server is shutting down");
+  }
+  if (request.dataset.empty()) {
+    ++stats_.rejected_invalid;
+    return Reject(ServeStatus::kInvalidRequest, "request names no dataset");
+  }
+  const int ranks = IsParallel(request.algorithm) ? request.num_ranks : 1;
+  if (ranks < 1 || ranks > pool_.capacity()) {
+    ++stats_.rejected_invalid;
+    return Reject(ServeStatus::kInvalidRequest,
+                  "requested " + std::to_string(ranks) + " ranks from a " +
+                      std::to_string(pool_.capacity()) + "-rank pool");
+  }
+  if (!cache_.Contains(request.dataset)) {
+    ++stats_.rejected_unknown_dataset;
+    return Reject(ServeStatus::kUnknownDataset,
+                  "unknown dataset '" + request.dataset + "'");
+  }
+  const TenantQuota& quota = QuotaFor(request.tenant);
+  TenantUsage& usage = tenants_[request.tenant];
+  if (quota.max_in_flight > 0 && usage.in_flight >= quota.max_in_flight) {
+    ++stats_.rejected_tenant_in_flight;
+    return Reject(ServeStatus::kTenantInFlightExceeded,
+                  "tenant '" + request.tenant + "' already has " +
+                      std::to_string(usage.in_flight) +
+                      " requests in flight");
+  }
+  if (quota.rank_seconds > 0.0 && usage.rank_seconds >= quota.rank_seconds) {
+    ++stats_.rejected_tenant_budget;
+    return Reject(ServeStatus::kTenantBudgetExhausted,
+                  "tenant '" + request.tenant +
+                      "' exhausted its rank-seconds budget");
+  }
+  if (queue_.size() >= config_.max_queue) {
+    ++stats_.rejected_queue_full;
+    return Reject(ServeStatus::kQueueFull,
+                  "admission queue is full (" +
+                      std::to_string(config_.max_queue) + " requests)");
+  }
+
+  ++stats_.admitted;
+  ++usage.in_flight;
+  ++usage.admitted;
+  Job job;
+  job.request = std::move(request);
+  job.enqueued_at = std::chrono::steady_clock::now();
+  job.sequence = next_sequence_++;
+  std::future<ServeResponse> future = job.promise.get_future();
+  queue_.push_back(std::move(job));
+  stats_.queue_depth = queue_.size();
+  if (queue_.size() > stats_.peak_queue_depth) {
+    stats_.peak_queue_depth = queue_.size();
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+ServeResponse MiningServer::Execute(MiningRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+void MiningServer::WorkerMain(int worker_id) {
+  // The worker's span emitter: one serve_request span per executed
+  // request, on this worker's track, timestamped from server start.
+  obs::RankTracer tracer(&serve_obs_, worker_id);
+  obs::ScopedTracerInstall install(&tracer);
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      stats_.queue_depth = queue_.size();
+    }
+    ServeResponse response = Process(job, worker_id);
+    // The promise resolves only after the rank lease is back in the pool
+    // and the tenant accounting is settled, so a caller observing the
+    // response observes a consistent server.
+    job.promise.set_value(std::move(response));
+  }
+}
+
+ServeResponse MiningServer::Process(Job& job, int worker_id) {
+  (void)worker_id;  // track identity comes from the installed tracer
+  const auto dequeued_at = std::chrono::steady_clock::now();
+  ServeResponse response;
+  response.queue_seconds = SecondsSince(job.enqueued_at, dequeued_at);
+
+  const int ranks =
+      IsParallel(job.request.algorithm) ? job.request.num_ranks : 1;
+  double charged = 0.0;
+  {
+    obs::ScopedSpan span(obs::SpanKind::kServeRequest,
+                         static_cast<std::int64_t>(job.sequence), nullptr);
+    Result<DatasetHandle> dataset = cache_.Get(job.request.dataset);
+    if (!dataset.ok()) {
+      // Registered at admission but gone or unloadable now (loader I/O
+      // failure); still a typed response, never an exception.
+      response.status = ServeStatus::kUnknownDataset;
+      response.error = dataset.status().message();
+      span.Cancel();
+    } else {
+      response.dataset = dataset.value();
+      RankLease lease = pool_.Lease(ranks);
+      if (!lease.held()) {
+        response.status = ServeStatus::kShuttingDown;
+        response.error = "rank pool closed";
+        span.Cancel();
+      } else {
+        MiningSession session;
+        try {
+          response.report = session.Run(job.request, *response.dataset->db);
+          response.status = ServeStatus::kOk;
+        } catch (const CommError& e) {
+          response.status = ServeStatus::kMiningFault;
+          response.error = std::string("transport failure: kind=") +
+                           CommErrorKindName(e.kind()) + " rank=" +
+                           std::to_string(e.rank()) + " peer=" +
+                           std::to_string(e.peer()) + ": " + e.what();
+        }
+        lease.Release();
+        response.service_seconds =
+            SecondsSince(dequeued_at, std::chrono::steady_clock::now());
+        // The machine was used whether the run completed or faulted.
+        charged = static_cast<double>(ranks) * response.service_seconds;
+      }
+    }
+  }
+  if (response.service_seconds == 0.0) {
+    response.service_seconds =
+        SecondsSince(dequeued_at, std::chrono::steady_clock::now());
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantUsage& usage = tenants_[job.request.tenant];
+  --usage.in_flight;
+  usage.rank_seconds += charged;
+  stats_.rank_seconds_charged += charged;
+  if (response.status == ServeStatus::kOk) {
+    ++stats_.completed;
+  } else if (response.status == ServeStatus::kMiningFault) {
+    ++stats_.mining_faults;
+  }
+  return response;
+}
+
+ServerStats MiningServer::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServerStats stats = stats_;
+  stats.queue_depth = queue_.size();
+  stats.cache_hits = cache_.Hits();
+  stats.cache_misses = cache_.Misses();
+  stats.leased_ranks = pool_.capacity() - pool_.Available();
+  return stats;
+}
+
+TenantUsage MiningServer::UsageFor(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? TenantUsage() : it->second;
+}
+
+void MiningServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    accepting_ = false;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  // Workers drained every queued request and returned every lease; close
+  // the pool so any stray Lease call fails fast instead of blocking.
+  pool_.Close();
+}
+
+}  // namespace pam::serve

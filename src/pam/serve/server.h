@@ -1,0 +1,218 @@
+#ifndef PAM_SERVE_SERVER_H_
+#define PAM_SERVE_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pam/api/session.h"
+#include "pam/mp/rank_pool.h"
+#include "pam/serve/dataset_cache.h"
+
+namespace pam::serve {
+
+/// Outcome of one served request. Rejections are decided synchronously at
+/// Submit (admission control); kMiningFault is the one post-admission
+/// failure — the run threw CommError under transport fault injection, so
+/// the request terminated with a typed error instead of silently wrong
+/// counts (the library's exactness contract, DESIGN.md §8).
+enum class ServeStatus {
+  kOk,
+  /// Admission rejections (the request never ran):
+  kQueueFull,              // bounded request queue at capacity
+  kTenantInFlightExceeded, // tenant at its max concurrent admitted requests
+  kTenantBudgetExhausted,  // tenant spent its rank-seconds budget
+  kUnknownDataset,         // dataset id not registered with the cache
+  kInvalidRequest,         // malformed (e.g. ranks outside the pool)
+  kShuttingDown,           // server no longer accepting
+  /// Post-admission typed failure:
+  kMiningFault,            // run died with CommError (fault injection)
+};
+
+/// Stable lowercase name ("ok", "queue_full", ...).
+const char* ServeStatusName(ServeStatus status);
+
+/// True for the admission-control statuses (request was never executed).
+bool IsRejection(ServeStatus status);
+
+/// Per-tenant admission limits. Zero means unlimited.
+struct TenantQuota {
+  /// Max requests a tenant may have admitted-but-unfinished at once.
+  int max_in_flight = 0;
+  /// Rank-seconds budget: every completed request is charged
+  /// leased_ranks x service_wall_seconds; once a tenant's cumulative
+  /// charge reaches this, further submits are rejected.
+  double rank_seconds = 0.0;
+};
+
+/// Server shape: how much machine it serves and how much it will queue.
+struct ServerConfig {
+  /// Logical mining ranks the server time-shares across requests (the
+  /// RankPool capacity). A request leases its num_ranks out of this.
+  int pool_ranks = 8;
+  /// Worker threads executing admitted requests (each runs one request at
+  /// a time; more workers than pool ranks just park in the lease FIFO).
+  int workers = 4;
+  /// Bounded admission queue: submits beyond this are rejected kQueueFull.
+  std::size_t max_queue = 64;
+  /// Quota applied to tenants without an explicit entry below.
+  TenantQuota default_quota;
+  std::map<std::string, TenantQuota> tenant_quotas;
+  /// Wire page size of the dataset cache's payload image.
+  std::size_t cache_page_bytes = 64 * 1024;
+};
+
+/// Everything the server says about one request.
+struct ServeResponse {
+  ServeStatus status = ServeStatus::kOk;
+  /// Human-readable detail for any non-kOk status.
+  std::string error;
+  /// The mining result (kOk only).
+  MiningReport report;
+  /// The cached dataset served (kOk and kMiningFault; lets callers verify
+  /// cross-request sharing — same dataset id means the same handle and the
+  /// same underlying Payload pages).
+  DatasetHandle dataset;
+  /// Seconds spent queued before a worker picked the request up.
+  double queue_seconds = 0.0;
+  /// Seconds from dequeue to completion (rank-lease wait + mining run).
+  double service_seconds = 0.0;
+
+  bool ok() const { return status == ServeStatus::kOk; }
+  bool rejected() const { return IsRejection(status); }
+};
+
+/// Monotonic server counters (snapshot).
+struct ServerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;      // kOk responses
+  std::uint64_t mining_faults = 0;  // kMiningFault responses
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_tenant_in_flight = 0;
+  std::uint64_t rejected_tenant_budget = 0;
+  std::uint64_t rejected_unknown_dataset = 0;
+  std::uint64_t rejected_invalid = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::size_t queue_depth = 0;       // current
+  std::size_t peak_queue_depth = 0;
+  int leased_ranks = 0;              // current (pool capacity - available)
+  double rank_seconds_charged = 0.0;
+
+  std::uint64_t TotalRejected() const {
+    return rejected_queue_full + rejected_tenant_in_flight +
+           rejected_tenant_budget + rejected_unknown_dataset +
+           rejected_invalid + rejected_shutdown;
+  }
+};
+
+/// A tenant's live accounting.
+struct TenantUsage {
+  int in_flight = 0;
+  std::uint64_t admitted = 0;
+  double rank_seconds = 0.0;
+};
+
+/// Mining-as-a-service over the MiningSession facade: a long-lived,
+/// multi-tenant server that accepts concurrent MiningRequests and
+/// schedules them over one shared rank pool.
+///
+///   pam::serve::ServerConfig cfg;        // 8 ranks, 4 workers
+///   pam::serve::MiningServer server(cfg);
+///   server.datasets().Register("retail", [] { return pam::ReadBinary(...); });
+///   pam::MiningRequest req;
+///   req.tenant = "acme"; req.dataset = "retail";
+///   req.algorithm = pam::MiningAlgorithm::kHD; req.num_ranks = 4;
+///   pam::serve::ServeResponse r = server.Submit(std::move(req)).get();
+///
+/// Admission control happens synchronously in Submit: a request is either
+/// admitted (future resolves when it finishes) or rejected with a typed
+/// ServeStatus (future is already resolved). Admitted requests wait in a
+/// bounded FIFO queue for a worker, lease their ranks from the shared
+/// RankPool (FIFO, so wide requests are never starved), run through a
+/// per-request MiningSession over the cached dataset, and are charged to
+/// their tenant's rank-seconds budget.
+///
+/// Results are byte-identical to a solo MiningSession::Run of the same
+/// request over the same database — the server adds scheduling, never
+/// arithmetic. Requests carrying a FaultConfig run under fault injection
+/// exactly like MineParallel: recoverable faults are repaired, and an
+/// unrecoverable one yields a typed kMiningFault response (the worker and
+/// its rank lease always survive and are returned).
+///
+/// Thread-safe: Submit may be called from any number of client threads.
+class MiningServer {
+ public:
+  explicit MiningServer(const ServerConfig& config);
+  ~MiningServer();
+  MiningServer(const MiningServer&) = delete;
+  MiningServer& operator=(const MiningServer&) = delete;
+
+  /// The dataset catalog; register datasets before (or while) serving.
+  DatasetCache& datasets() { return cache_; }
+
+  /// Trace sinks observe one kServeRequest span per executed request
+  /// (track = worker id, timestamps from server construction). Attach
+  /// before the first Submit; sinks must outlive the server.
+  void AddTraceSink(obs::TraceSink* sink);
+
+  /// Submits a request. The returned future always resolves: immediately
+  /// for rejections, at completion otherwise.
+  std::future<ServeResponse> Submit(MiningRequest request);
+
+  /// Blocking convenience: Submit + wait.
+  ServeResponse Execute(MiningRequest request);
+
+  ServerStats Stats() const;
+  TenantUsage UsageFor(const std::string& tenant) const;
+  const RankPool& pool() const { return pool_; }
+
+  /// Stops admission (further submits are rejected kShuttingDown), drains
+  /// the queue and all in-flight requests, and joins the workers. Every
+  /// rank lease is back in the pool when this returns. Idempotent; the
+  /// destructor calls it.
+  void Shutdown();
+
+ private:
+  struct Job {
+    MiningRequest request;
+    std::promise<ServeResponse> promise;
+    std::chrono::steady_clock::time_point enqueued_at;
+    std::uint64_t sequence = 0;
+  };
+
+  void WorkerMain(int worker_id);
+  ServeResponse Process(Job& job, int worker_id);
+  const TenantQuota& QuotaFor(const std::string& tenant) const;
+  std::future<ServeResponse> Reject(ServeStatus status, std::string error);
+
+  const ServerConfig config_;
+  RankPool pool_;
+  DatasetCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  std::map<std::string, TenantUsage> tenants_;
+  ServerStats stats_;
+  std::uint64_t next_sequence_ = 0;
+  bool accepting_ = true;
+  bool stopping_ = false;
+
+  obs::SessionObs serve_obs_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pam::serve
+
+#endif  // PAM_SERVE_SERVER_H_

@@ -20,27 +20,7 @@
 namespace pam {
 namespace {
 
-ItemsetCollection RandomCandidates(int k, std::size_t how_many, Item universe,
-                                   std::uint64_t seed) {
-  Prng rng(seed);
-  std::set<std::vector<Item>> sets;
-  std::size_t guard = 0;
-  while (sets.size() < how_many && guard < how_many * 50) {
-    ++guard;
-    std::vector<Item> scratch;
-    while (scratch.size() < static_cast<std::size_t>(k)) {
-      const Item x = static_cast<Item>(rng.NextBounded(universe));
-      if (std::find(scratch.begin(), scratch.end(), x) == scratch.end()) {
-        scratch.push_back(x);
-      }
-    }
-    std::sort(scratch.begin(), scratch.end());
-    sets.insert(std::move(scratch));
-  }
-  ItemsetCollection col(k);
-  for (const auto& s : sets) col.Add(ItemSpan(s.data(), s.size()));
-  return col;
-}
+using testing::RandomCandidates;
 
 struct KernelOutput {
   std::vector<Count> counts;

@@ -29,9 +29,7 @@ TEST_P(DifferentialSweep, AllAlgorithmsMatchSerial) {
 
   // Workload varies with the seed so the sweep covers different candidate
   // populations, not just different configs over one database.
-  QuestConfig q = testing::SmallQuestConfig();
-  q.seed = seed;
-  const TransactionDatabase db = GenerateQuest(q);
+  const TransactionDatabase db = testing::SeededQuestDb(seed);
 
   const double minsups[] = {0.015, 0.02, 0.03};
   const int ranks[] = {2, 3, 4, 6, 8};

@@ -1,8 +1,11 @@
 #ifndef PAM_TESTS_TESTING_RANDOM_DB_H_
 #define PAM_TESTS_TESTING_RANDOM_DB_H_
 
+#include <algorithm>
+#include <set>
 #include <vector>
 
+#include "pam/core/itemset_collection.h"
 #include "pam/tdb/database.h"
 #include "pam/util/prng.h"
 
@@ -26,6 +29,31 @@ inline TransactionDatabase RandomDb(std::size_t num_transactions,
     db.Add(tx);
   }
   return db;
+}
+
+/// A random sorted-unique candidate collection of arity k, shared by the
+/// hash-tree / flat-kernel / threaded-kernel differential tests. The guard
+/// bounds the rejection loop when `how_many` approaches C(universe, k).
+inline ItemsetCollection RandomCandidates(int k, std::size_t how_many,
+                                          Item universe, std::uint64_t seed) {
+  Prng rng(seed);
+  std::set<std::vector<Item>> sets;
+  std::size_t guard = 0;
+  while (sets.size() < how_many && guard < how_many * 50) {
+    ++guard;
+    std::vector<Item> scratch;
+    while (scratch.size() < static_cast<std::size_t>(k)) {
+      const Item x = static_cast<Item>(rng.NextBounded(universe));
+      if (std::find(scratch.begin(), scratch.end(), x) == scratch.end()) {
+        scratch.push_back(x);
+      }
+    }
+    std::sort(scratch.begin(), scratch.end());
+    sets.insert(std::move(scratch));
+  }
+  ItemsetCollection col(k);
+  for (const auto& s : sets) col.Add(ItemSpan(s.data(), s.size()));
+  return col;
 }
 
 /// The paper's Table I supermarket database (items renamed to ids:

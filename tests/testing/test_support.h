@@ -48,6 +48,15 @@ inline TransactionDatabase SmallQuestDb() {
   return GenerateQuest(SmallQuestConfig());
 }
 
+/// The small Quest workload re-seeded, so sweep-style tests can vary the
+/// candidate population per seed while keeping the shape that guarantees
+/// three-plus passes at minsup 2%.
+inline TransactionDatabase SeededQuestDb(std::uint64_t seed) {
+  QuestConfig q = SmallQuestConfig();
+  q.seed = seed;
+  return GenerateQuest(q);
+}
+
 /// A smaller Quest workload for the chaos matrix, where each cell pays the
 /// fault-injection overhead (retransmits, deadline scans) on every message:
 /// 200 transactions over 40 items still produces 3+ passes at minsup 3%.

@@ -1,0 +1,259 @@
+// pam_serve: mining-as-a-service — a long-lived multi-tenant daemon over
+// the MiningSession facade. Datasets are registered up front and cached as
+// shared immutable payload pages; requests stream in as text lines (stdin
+// or --script), are admission-controlled against the bounded queue and
+// per-tenant quotas, and execute concurrently over the shared rank pool.
+//
+//   pam_serve --datasets retail=retail.bin,web=web.bin --ranks 8 <<'EOF'
+//   mine id=r1 tenant=acme dataset=retail algorithm=hd ranks=4 minsup=2
+//   mine id=r2 tenant=acme dataset=retail algorithm=serial minsup=2 rules
+//   mine id=r3 tenant=zeta dataset=web algorithm=idd ranks=2 minsup=1.5
+//   EOF
+//
+// Responses print in submission order once the input is exhausted, then a
+// server-counter summary (queue peaks, cache hits, typed rejections).
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pam/obs/chrome_trace.h"
+#include "pam/serve/server.h"
+#include "pam/tdb/io.h"
+#include "pam/util/flags.h"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: pam_serve [flags] < requests
+  --datasets LIST    dataset catalog NAME=PATH[,NAME=PATH...] (required)
+  --format FMT       binary | text basket files (default binary)
+  --ranks P          shared rank pool size (default 8)
+  --workers W        worker threads (default 4)
+  --queue N          admission queue bound (default 64)
+  --tenant-inflight N  per-tenant max in-flight requests (default 0 = off)
+  --tenant-budget S  per-tenant rank-seconds budget (default 0 = off)
+  --page-bytes B     dataset cache wire-page size (default 65536)
+  --script F         read request lines from F instead of stdin
+  --trace-out F      write the serve_request span timeline to F
+  --quiet            print only the final counter summary
+
+request lines (one per request; '#' starts a comment):
+  mine id=TAG tenant=NAME dataset=NAME [algorithm=ALG] [ranks=P]
+       [minsup=PCT] [minconf=PCT] [rules] [threads=T] [max-k=K]
+)";
+
+struct PendingRequest {
+  std::string id;
+  std::string tenant;
+  std::string dataset;
+  std::future<pam::serve::ServeResponse> future;
+};
+
+/// Splits a request line into whitespace-separated tokens; `key=value`
+/// tokens land in the map, bare tokens (e.g. `rules`) map to "true".
+bool ParseRequestLine(const std::string& line, std::string* verb,
+                      std::map<std::string, std::string>* kv) {
+  std::istringstream in(line);
+  if (!(in >> *verb)) return false;
+  std::string token;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      (*kv)[token] = "true";
+    } else {
+      (*kv)[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+  }
+  return true;
+}
+
+std::string Lookup(const std::map<std::string, std::string>& kv,
+                   const std::string& key, const std::string& fallback) {
+  auto it = kv.find(key);
+  return it == kv.end() ? fallback : it->second;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pam::FlagParser flags;
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(), kUsage);
+    return 2;
+  }
+  const std::vector<std::string> known = {
+      "datasets", "format", "ranks",    "workers",   "queue",
+      "tenant-inflight",    "tenant-budget",         "page-bytes",
+      "script",   "trace-out", "quiet", "help"};
+  for (const std::string& f : flags.UnknownFlags(known)) {
+    std::fprintf(stderr, "error: unknown flag --%s\n%s", f.c_str(), kUsage);
+    return 2;
+  }
+  if (flags.GetBool("help", false) || !flags.Has("datasets")) {
+    std::fputs(kUsage, flags.Has("datasets") ? stdout : stderr);
+    return flags.GetBool("help", false) ? 0 : 2;
+  }
+
+  pam::serve::ServerConfig config;
+  config.pool_ranks = static_cast<int>(flags.GetInt("ranks", 8));
+  config.workers = static_cast<int>(flags.GetInt("workers", 4));
+  config.max_queue =
+      static_cast<std::size_t>(flags.GetInt("queue", 64));
+  config.default_quota.max_in_flight =
+      static_cast<int>(flags.GetInt("tenant-inflight", 0));
+  config.default_quota.rank_seconds = flags.GetDouble("tenant-budget", 0.0);
+  config.cache_page_bytes =
+      static_cast<std::size_t>(flags.GetInt("page-bytes", 64 * 1024));
+
+  pam::serve::MiningServer server(config);
+  pam::obs::ChromeTraceWriter trace_writer;
+  if (flags.Has("trace-out")) server.AddTraceSink(&trace_writer);
+
+  // Register the catalog: NAME=PATH pairs, loaded lazily by the cache on
+  // the first request that names them.
+  const std::string format = flags.GetString("format", "binary");
+  std::stringstream catalog(flags.GetString("datasets", ""));
+  std::string entry;
+  std::size_t registered = 0;
+  while (std::getline(catalog, entry, ',')) {
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == entry.size()) {
+      std::fprintf(stderr, "error: bad --datasets entry '%s'\n",
+                   entry.c_str());
+      return 2;
+    }
+    const std::string name = entry.substr(0, eq);
+    const std::string path = entry.substr(eq + 1);
+    server.datasets().Register(name, [path, format] {
+      return format == "text" ? pam::ReadText(path) : pam::ReadBinary(path);
+    });
+    ++registered;
+  }
+  if (registered == 0) {
+    std::fprintf(stderr, "error: --datasets names no datasets\n%s", kUsage);
+    return 2;
+  }
+
+  const bool quiet = flags.GetBool("quiet", false);
+  std::printf("pam_serve: %zu datasets, %d ranks, %d workers, queue %zu\n",
+              registered, config.pool_ranks, config.workers,
+              config.max_queue);
+
+  std::ifstream script;
+  if (flags.Has("script")) {
+    script.open(flags.GetString("script", ""));
+    if (!script) {
+      std::fprintf(stderr, "error: cannot open --script %s\n",
+                   flags.GetString("script", "").c_str());
+      return 2;
+    }
+  }
+  std::istream& in = flags.Has("script") ? script : std::cin;
+
+  std::vector<PendingRequest> pending;
+  std::string line;
+  int bad_lines = 0;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::string verb;
+    std::map<std::string, std::string> kv;
+    if (!ParseRequestLine(line, &verb, &kv)) continue;  // blank
+    if (verb != "mine") {
+      std::fprintf(stderr, "warning: unknown verb '%s' ignored\n",
+                   verb.c_str());
+      ++bad_lines;
+      continue;
+    }
+    pam::MiningRequest request;
+    request.tenant = Lookup(kv, "tenant", "anonymous");
+    request.dataset = Lookup(kv, "dataset", "");
+    const std::string algorithm = Lookup(kv, "algorithm", "serial");
+    if (!pam::ParseMiningAlgorithm(algorithm, &request.algorithm)) {
+      std::fprintf(stderr, "warning: unknown algorithm '%s' ignored\n",
+                   algorithm.c_str());
+      ++bad_lines;
+      continue;
+    }
+    request.num_ranks = std::atoi(Lookup(kv, "ranks", "4").c_str());
+    request.config.apriori.minsup_fraction =
+        std::atof(Lookup(kv, "minsup", "1.0").c_str()) / 100.0;
+    request.config.apriori.threads_per_rank =
+        std::atoi(Lookup(kv, "threads", "1").c_str());
+    request.config.apriori.max_k =
+        std::atoi(Lookup(kv, "max-k", "0").c_str());
+    request.generate_rules = Lookup(kv, "rules", "false") == "true";
+    request.min_confidence =
+        std::atof(Lookup(kv, "minconf", "50").c_str()) / 100.0;
+
+    PendingRequest p;
+    p.id = Lookup(kv, "id", "req" + std::to_string(pending.size()));
+    p.tenant = request.tenant;
+    p.dataset = request.dataset;
+    p.future = server.Submit(std::move(request));
+    pending.push_back(std::move(p));
+  }
+
+  int failures = bad_lines;
+  for (PendingRequest& p : pending) {
+    pam::serve::ServeResponse response = p.future.get();
+    if (!quiet) {
+      if (response.ok()) {
+        std::printf(
+            "response id=%s tenant=%s dataset=%s status=ok itemsets=%zu "
+            "rules=%zu queue_ms=%.2f service_ms=%.2f\n",
+            p.id.c_str(), p.tenant.c_str(), p.dataset.c_str(),
+            response.report.frequent.TotalCount(),
+            response.report.rules.size(), response.queue_seconds * 1e3,
+            response.service_seconds * 1e3);
+      } else {
+        std::printf("response id=%s tenant=%s dataset=%s status=%s "
+                    "error=\"%s\"\n",
+                    p.id.c_str(), p.tenant.c_str(), p.dataset.c_str(),
+                    pam::serve::ServeStatusName(response.status),
+                    response.error.c_str());
+      }
+    }
+    if (!response.ok() && !response.rejected()) ++failures;
+  }
+
+  server.Shutdown();
+  const pam::serve::ServerStats stats = server.Stats();
+  std::printf(
+      "served %llu/%llu requests (%llu ok, %llu faulted, %llu rejected: "
+      "%llu queue_full, %llu quota, %llu budget, %llu unknown_dataset)\n",
+      static_cast<unsigned long long>(stats.admitted),
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.mining_faults),
+      static_cast<unsigned long long>(stats.TotalRejected()),
+      static_cast<unsigned long long>(stats.rejected_queue_full),
+      static_cast<unsigned long long>(stats.rejected_tenant_in_flight),
+      static_cast<unsigned long long>(stats.rejected_tenant_budget),
+      static_cast<unsigned long long>(stats.rejected_unknown_dataset));
+  std::printf(
+      "cache: %llu hits, %llu misses, %zu resident bytes; peak queue %zu; "
+      "%.3f rank-seconds charged\n",
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.cache_misses),
+      server.datasets().ResidentBytes(), stats.peak_queue_depth,
+      stats.rank_seconds_charged);
+
+  if (flags.Has("trace-out")) {
+    const std::string out_path = flags.GetString("trace-out", "");
+    const pam::Status status = trace_writer.WriteFile(out_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.message().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu serve trace events to %s\n", trace_writer.size(),
+                out_path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
