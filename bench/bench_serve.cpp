@@ -13,6 +13,7 @@
 //   bench_serve [--smoke]
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -21,6 +22,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "pam/mp/fault.h"
 #include "pam/serve/server.h"
 
 namespace {
@@ -271,6 +273,100 @@ int main(int argc, char** argv) {
     mismatch = true;
   }
 
+  // Deadline mix (DESIGN.md §13): a fraction of the load carries a tight
+  // deadline and a stall fault plan, so those requests are shed in queue
+  // or cancelled mid-run while the rest of the mix keeps flowing. Reports
+  // the shed rate of the tight slice and the latency the *survivors* paid
+  // — the robustness number: deadlines must cost the well-behaved load
+  // nothing but queue contention.
+  ServerConfig dl_config;
+  dl_config.pool_ranks = 8;
+  dl_config.workers = 4;
+  dl_config.max_queue = 256;
+  MiningServer deadline_server(dl_config);
+  deadline_server.datasets().RegisterLoaded("retail",
+                                            pam::TransactionDatabase(retail));
+  deadline_server.datasets().RegisterLoaded("web",
+                                            pam::TransactionDatabase(web));
+  const int dl_clients = smoke ? 2 : 4;
+  const int dl_iters = smoke ? 8 : 24;
+  const int kTightEvery = 4;  // 25% tight-deadline fraction
+  std::vector<std::vector<double>> survivor_lat(
+      static_cast<std::size_t>(dl_clients));
+  std::atomic<int> tight_total{0}, tight_shed{0}, dl_wrong{0};
+  {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < dl_clients; ++c) {
+      threads.emplace_back([&, c] {
+        constexpr std::size_t kMixSize = sizeof(kMix) / sizeof(kMix[0]);
+        for (int i = 0; i < dl_iters; ++i) {
+          const int cell_idx = c * dl_iters + i;
+          const MixCell& cell =
+              kMix[static_cast<std::size_t>(cell_idx) % kMixSize];
+          MiningRequest request = RequestOf(cell);
+          const bool tight = cell_idx % kTightEvery == 0;
+          if (tight) {
+            // Slowed by an always-stall plan and given a deadline it
+            // cannot reliably make; forced parallel so the stalls apply.
+            request.algorithm = MiningAlgorithm::kCD;
+            request.num_ranks = 3;
+            request.config.fault = pam::FaultConfig::Uniform(
+                pam::FaultKind::kStall, 1.0,
+                /*seed=*/static_cast<std::uint64_t>(cell_idx));
+            request.config.fault.stall_ticks_ms = 40;
+            request.config.fault.recv_timeout_ms = 120000;
+            request.deadline_ms = 30.0;
+            ++tight_total;
+          }
+          const auto start = std::chrono::steady_clock::now();
+          ServeResponse response = deadline_server.Execute(std::move(request));
+          const auto end = std::chrono::steady_clock::now();
+          switch (response.status) {
+            case pam::serve::ServeStatus::kOk:
+              survivor_lat[static_cast<std::size_t>(c)].push_back(
+                  std::chrono::duration<double>(end - start).count());
+              break;
+            case pam::serve::ServeStatus::kDeadlineExceeded:
+              ++tight_shed;
+              break;
+            default:
+              std::printf("UNEXPECTED deadline-mix response: %s (%s)\n",
+                          pam::serve::ServeStatusName(response.status),
+                          response.error.c_str());
+              ++dl_wrong;
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  const ServerStats dl_stats = deadline_server.Stats();
+  deadline_server.Shutdown();
+  if (dl_wrong.load() > 0) mismatch = true;
+  if (dl_stats.admitted != dl_stats.completed + dl_stats.mining_faults +
+                               dl_stats.cancelled +
+                               dl_stats.deadline_exceeded) {
+    std::printf("MISMATCH: deadline-mix accounting does not balance\n");
+    mismatch = true;
+  }
+  std::vector<double> survivors;
+  for (const auto& per_client : survivor_lat) {
+    survivors.insert(survivors.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(survivors.begin(), survivors.end());
+  const double shed_rate =
+      tight_total.load() > 0
+          ? static_cast<double>(tight_shed.load()) / tight_total.load()
+          : 0.0;
+  const double surv_p95 = PercentileMs(survivors, 0.95);
+  const double surv_p99 = PercentileMs(survivors, 0.99);
+  std::printf(
+      "deadline mix: %d req (%d tight @30ms), shed rate %.0f%%, %zu "
+      "survivors p95 %.1fms p99 %.1fms, %llu expired in queue\n",
+      dl_clients * dl_iters, tight_total.load(), shed_rate * 100.0,
+      survivors.size(), surv_p95, surv_p99,
+      static_cast<unsigned long long>(dl_stats.expired_in_queue));
+
   std::FILE* f = std::fopen("BENCH_serve.json", "w");
   if (f != nullptr) {
     std::fprintf(f,
@@ -298,12 +394,21 @@ int main(int argc, char** argv) {
     std::fprintf(
         f,
         "  ],\n  \"overload\": {\"submitted\": %llu, \"admitted\": %llu, "
-        "\"queue_full\": %llu, \"tenant_in_flight\": %llu}\n}\n",
+        "\"queue_full\": %llu, \"tenant_in_flight\": %llu},\n",
         static_cast<unsigned long long>(burst_stats.submitted),
         static_cast<unsigned long long>(burst_stats.admitted),
         static_cast<unsigned long long>(burst_stats.rejected_queue_full),
         static_cast<unsigned long long>(
             burst_stats.rejected_tenant_in_flight));
+    std::fprintf(
+        f,
+        "  \"deadline_mix\": {\"requests\": %d, \"tight_fraction\": %.2f, "
+        "\"deadline_ms\": 30.0, \"tight_requests\": %d, \"shed_rate\": "
+        "%.3f, \"expired_in_queue\": %llu, \"survivors\": %zu, "
+        "\"survivor_p95_ms\": %.3f, \"survivor_p99_ms\": %.3f}\n}\n",
+        dl_clients * dl_iters, 1.0 / kTightEvery, tight_total.load(),
+        shed_rate, static_cast<unsigned long long>(dl_stats.expired_in_queue),
+        survivors.size(), surv_p95, surv_p99);
     std::fclose(f);
     std::printf("wrote BENCH_serve.json\n");
   }

@@ -34,9 +34,15 @@ run_preset() {
   ctest --preset "$preset" --timeout "$test_timeout"
 }
 
+# The serve label includes the cancellation chaos matrix
+# (serve_cancel_test): the server driven under stall and drop fault plans
+# with deadlines, asserting every response is typed and every rank lease
+# comes home. It runs under both sanitizers — ASan for the unwind paths
+# (a cancelled run tears down mid-pass), TSan for the token/watchdog
+# concurrency.
 run_chaos_sanitized() {
-  echo "=== chaos suite under ASan/UBSan ==="
-  ctest --preset sanitize -L chaos --timeout "$test_timeout"
+  echo "=== chaos + serve suites under ASan/UBSan ==="
+  ctest --preset sanitize -L 'chaos|serve' --timeout "$test_timeout"
 }
 
 run_tsan() {
@@ -76,8 +82,14 @@ over = doc["overload"]
 assert over["submitted"] == over["admitted"] + over["queue_full"] + \
     over["tenant_in_flight"], over
 assert over["queue_full"] > 0, "overload burst never filled the queue"
+dl = doc["deadline_mix"]
+assert dl["tight_requests"] > 0 and 0 < dl["tight_fraction"] <= 1, dl
+assert 0 <= dl["shed_rate"] <= 1, dl
+assert dl["survivors"] > 0, "deadline mix starved the well-behaved load"
+assert 0 < dl["survivor_p95_ms"] <= dl["survivor_p99_ms"], dl
 print(f"BENCH_serve.json: {len(sections)} sections, "
-      f"{over['queue_full']} queue-full rejections: ok")
+      f"{over['queue_full']} queue-full rejections, "
+      f"deadline shed rate {dl['shed_rate']:.2f}: ok")
 PYEOF
 }
 

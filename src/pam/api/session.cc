@@ -131,6 +131,27 @@ MiningReport MiningSession::Run(const MiningRequest& request,
     for (obs::MetricsSink* sink : metrics_sinks_) sink->OnRunBegin(info);
   }
 
+  // Cancellation plumbing: resolve the effective token (the caller's, or
+  // a fresh one when only a deadline was given), arm the deadline unless
+  // someone armed it earlier (the server arms at admission so queue time
+  // counts against it), stamp the first heartbeat, and install it into the
+  // config copy the formulations read. With no token and no deadline the
+  // copy carries a null token — the exact zero-overhead path.
+  ParallelConfig config = request.config;
+  {
+    CancelToken cancel = request.cancel;
+    if (!cancel.valid() && request.deadline_ms > 0) {
+      cancel = CancelToken::Create();
+    }
+    if (cancel.valid()) {
+      if (request.deadline_ms > 0 && !cancel.has_deadline()) {
+        cancel.ArmDeadlineIn(request.deadline_ms);
+      }
+      cancel.Beat();
+      config.apriori.cancel = cancel;
+    }
+  }
+
   // The session-level tracer covers the run span and the serial path; the
   // parallel rank threads install their own (thread-local, so the two
   // never collide even though rank 0 shares this tracer's track id).
@@ -142,11 +163,11 @@ MiningReport MiningSession::Run(const MiningRequest& request,
     if (IsParallel(request.algorithm)) {
       ParallelResult result =
           MineParallelObserved(ToParallelAlgorithm(request.algorithm), db,
-                               request.num_ranks, request.config, obs_ptr);
+                               request.num_ranks, config, obs_ptr);
       report.frequent = std::move(result.frequent);
       report.metrics = std::move(result.metrics);
     } else {
-      SerialResult result = MineSerial(db, request.config.apriori);
+      SerialResult result = MineSerial(db, config.apriori);
       report.metrics = SerialRunMetrics(result, db);
       report.frequent = std::move(result.frequent);
       // Serial passes stream post-hoc (the serial miner records

@@ -62,6 +62,17 @@ struct MiningRequest {
   /// enforces per-`tenant` admission quotas.
   std::string tenant;
   std::string dataset;
+  /// End-to-end deadline for the run, in milliseconds (0 = none). Direct
+  /// MiningSession::Run calls arm it at run start; the MiningServer arms
+  /// it at admission, so queue time counts against it. A fired deadline
+  /// surfaces as CancelledError{kDeadline} from Run, or a typed
+  /// kDeadlineExceeded response from the server.
+  double deadline_ms = 0;
+  /// Optional caller-held cancellation token. Cancel() it from any thread
+  /// to abort the run cooperatively at the next check point; combines with
+  /// deadline_ms (whichever fires first wins). Invalid (default) means the
+  /// session creates one internally only if deadline_ms > 0.
+  CancelToken cancel;
 };
 
 /// Everything a mining run produces.

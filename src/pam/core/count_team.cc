@@ -1,5 +1,6 @@
 #include "pam/core/count_team.h"
 
+#include <algorithm>
 #include <cassert>
 #include <optional>
 
@@ -13,12 +14,14 @@ void AccumulateShardWork(std::vector<std::uint64_t>& into,
 
 TeamCounter::TeamCounter(CountingPool* pool, HashTree* tree,
                          std::span<Count> counts, SubsetStats* stats,
-                         const Bitmap* root_filter)
+                         const Bitmap* root_filter,
+                         const CancelToken* cancel)
     : pool_(pool),
       tree_(tree),
       counts_(counts),
       stats_(stats),
       filter_(root_filter),
+      cancel_(cancel != nullptr && cancel->valid() ? cancel : nullptr),
       tracer_(obs::CurrentTracer()),
       team_(pool->num_threads() > 1 &&
                     tree->kernel() == HashTreeKernel::kFlat
@@ -57,19 +60,32 @@ void TeamCounter::RunBatch(std::size_t n, const TxAt& tx_at) {
 std::size_t TeamCounter::CountSlice(const TransactionDatabase& db,
                                     TransactionDatabase::Slice slice) {
   const std::size_t n = slice.end - slice.begin;
-  if (team_ == 1) {
-    for (std::size_t t = slice.begin; t < slice.end; ++t) {
-      tree_->Subset(db.Transaction(t), counts_, stats_, filter_);
+  // With a live token, count in kCancelCheckStride sub-batches and run a
+  // progress check point between them — on the rank thread, with the pool
+  // idle, so a throw never abandons in-flight workers. Counts and merged
+  // stats are byte-identical either way (shard merge order is fixed).
+  for (std::size_t begin = slice.begin; begin < slice.end;) {
+    std::size_t end = slice.end;
+    if (cancel_ != nullptr) {
+      cancel_->Checkpoint();
+      end = std::min(end, begin + kCancelCheckStride);
     }
-    return n;
+    if (team_ == 1) {
+      for (std::size_t t = begin; t < end; ++t) {
+        tree_->Subset(db.Transaction(t), counts_, stats_, filter_);
+      }
+    } else {
+      RunBatch(end - begin, [&db, begin](std::size_t i) {
+        return db.Transaction(begin + i);
+      });
+    }
+    begin = end;
   }
-  RunBatch(n, [&db, slice](std::size_t i) {
-    return db.Transaction(slice.begin + i);
-  });
   return n;
 }
 
 std::size_t TeamCounter::CountPage(PageView page) {
+  if (cancel_ != nullptr) cancel_->Checkpoint();
   if (team_ == 1) {
     std::size_t n = 0;
     ForEachTransaction(page, [&](ItemSpan tx) {
@@ -102,10 +118,11 @@ void TeamCounter::Finish() {
 }
 
 TriangleTeam::TriangleTeam(CountingPool* pool, TrianglePairCounter* tri,
-                           SubsetStats* stats)
+                           SubsetStats* stats, const CancelToken* cancel)
     : pool_(pool),
       tri_(tri),
       stats_(stats),
+      cancel_(cancel != nullptr && cancel->valid() ? cancel : nullptr),
       tracer_(obs::CurrentTracer()),
       team_(pool->num_threads()) {
   if (team_ > 1) {
@@ -142,19 +159,28 @@ void TriangleTeam::RunBatch(std::size_t n, const TxAt& tx_at) {
 std::size_t TriangleTeam::CountSlice(const TransactionDatabase& db,
                                      TransactionDatabase::Slice slice) {
   const std::size_t n = slice.end - slice.begin;
-  if (team_ == 1) {
-    for (std::size_t t = slice.begin; t < slice.end; ++t) {
-      tri_->AddTransaction(db.Transaction(t), stats_);
+  for (std::size_t begin = slice.begin; begin < slice.end;) {
+    std::size_t end = slice.end;
+    if (cancel_ != nullptr) {
+      cancel_->Checkpoint();
+      end = std::min(end, begin + kCancelCheckStride);
     }
-    return n;
+    if (team_ == 1) {
+      for (std::size_t t = begin; t < end; ++t) {
+        tri_->AddTransaction(db.Transaction(t), stats_);
+      }
+    } else {
+      RunBatch(end - begin, [&db, begin](std::size_t i) {
+        return db.Transaction(begin + i);
+      });
+    }
+    begin = end;
   }
-  RunBatch(n, [&db, slice](std::size_t i) {
-    return db.Transaction(slice.begin + i);
-  });
   return n;
 }
 
 std::size_t TriangleTeam::CountPage(PageView page) {
+  if (cancel_ != nullptr) cancel_->Checkpoint();
   if (team_ == 1) {
     std::size_t n = 0;
     ForEachTransaction(page, [&](ItemSpan tx) {

@@ -12,9 +12,17 @@
 #include "pam/tdb/database.h"
 #include "pam/tdb/page_buffer.h"
 #include "pam/util/bitmap.h"
+#include "pam/util/cancel.h"
 #include "pam/util/types.h"
 
 namespace pam {
+
+/// Transactions counted between two cancellation checks inside the team
+/// (DESIGN.md §13): with a live token, CountSlice splits its batch at this
+/// stride and runs Beat() + ThrowIfCancelled() between sub-batches, so a
+/// fired deadline interrupts even a single enormous counting call within a
+/// bounded amount of work. A null token takes the unsplit fast path.
+inline constexpr std::size_t kCancelCheckStride = 2048;
 
 /// Elementwise `into[i] += from[i]`, growing `into` as needed: folds one
 /// counting batch's per-shard work vector into a pass accumulator.
@@ -34,10 +42,13 @@ void AccumulateShardWork(std::vector<std::uint64_t>& into,
 /// pre-team code path, no strips, no extra allocation.
 class TeamCounter {
  public:
-  /// `pool`, `tree`, `counts`, `stats` and `root_filter` must outlive the
-  /// counter. `stats` may be null (work counters are then not collected).
+  /// `pool`, `tree`, `counts`, `stats`, `root_filter` and `cancel` must
+  /// outlive the counter. `stats` may be null (work counters are then not
+  /// collected); `cancel` may be null or point at a null token (no
+  /// cancellation checks — the exact pre-token code path).
   TeamCounter(CountingPool* pool, HashTree* tree, std::span<Count> counts,
-              SubsetStats* stats, const Bitmap* root_filter = nullptr);
+              SubsetStats* stats, const Bitmap* root_filter = nullptr,
+              const CancelToken* cancel = nullptr);
 
   /// Counts transactions [slice.begin, slice.end) of `db`; returns how
   /// many transactions were processed.
@@ -67,6 +78,7 @@ class TeamCounter {
   std::span<Count> counts_;
   SubsetStats* stats_;
   const Bitmap* filter_;
+  const CancelToken* cancel_;
   obs::RankTracer* tracer_;  // the rank's tracer, re-installed on workers
   int team_;
   bool finished_ = false;
@@ -86,7 +98,7 @@ class TeamCounter {
 class TriangleTeam {
  public:
   TriangleTeam(CountingPool* pool, TrianglePairCounter* tri,
-               SubsetStats* stats);
+               SubsetStats* stats, const CancelToken* cancel = nullptr);
 
   std::size_t CountSlice(const TransactionDatabase& db,
                          TransactionDatabase::Slice slice);
@@ -106,6 +118,7 @@ class TriangleTeam {
   CountingPool* pool_;
   TrianglePairCounter* tri_;
   SubsetStats* stats_;
+  const CancelToken* cancel_;
   obs::RankTracer* tracer_;
   int team_;
   bool finished_ = false;

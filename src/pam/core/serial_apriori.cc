@@ -57,7 +57,7 @@ std::size_t CountCandidates(const TransactionDatabase& db,
     {
       obs::ScopedSpan count_span(obs::SpanKind::kSubsetCount, /*index=*/0,
                                  "triangle");
-      TriangleTeam team(pool, &tri, stats);
+      TriangleTeam team(pool, &tri, stats, &config.cancel);
       team.CountSlice(db, slice);
       team.Finish();
       if (info != nullptr) {
@@ -92,7 +92,8 @@ std::size_t CountCandidates(const TransactionDatabase& db,
     obs::ScopedSpan count_span(obs::SpanKind::kSubsetCount,
                                static_cast<std::int64_t>(chunk));
     TeamCounter team(pool, &tree, counts_span,
-                     info != nullptr ? &info->subset : nullptr);
+                     info != nullptr ? &info->subset : nullptr,
+                     /*root_filter=*/nullptr, &config.cancel);
     team.CountSlice(db, slice);
     team.Finish();
     if (info != nullptr) {
@@ -119,6 +120,7 @@ SerialResult MineSerial(const TransactionDatabase& db,
   // Pass 1: direct counting array, no hash tree needed. With DHP enabled,
   // the same scan also hashes every transaction pair into buckets.
   std::vector<Count> dhp_buckets;
+  config.cancel.Checkpoint();
   {
     obs::ScopedSpan pass_span(obs::SpanKind::kPass, /*pass_k=*/1, -1,
                               nullptr);
@@ -141,6 +143,7 @@ SerialResult MineSerial(const TransactionDatabase& db,
   for (int k = 2; config.max_k == 0 || k <= config.max_k; ++k) {
     const ItemsetCollection& prev = result.frequent.levels.back();
     if (prev.size() < 2) break;
+    config.cancel.Checkpoint();
     obs::ScopedSpan pass_span(obs::SpanKind::kPass, k, -1, nullptr);
     WallTimer timer;
     SerialPassInfo info;

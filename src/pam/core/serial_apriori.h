@@ -8,6 +8,7 @@
 #include "pam/core/itemset_collection.h"
 #include "pam/hashtree/hash_tree.h"
 #include "pam/tdb/database.h"
+#include "pam/util/cancel.h"
 
 namespace pam {
 
@@ -60,6 +61,12 @@ struct AprioriConfig {
   /// default) spawns no threads and takes exactly the old code path;
   /// results are byte-identical for every value.
   int threads_per_rank = 1;
+  /// Cooperative cancellation/deadline handle (DESIGN.md §13). Checked at
+  /// every pass boundary and on every bounded interval inside the
+  /// subset-count team; a fired token makes the miner throw
+  /// CancelledError. The default null token costs one pointer test per
+  /// check point and nothing on the counting hot loop.
+  CancelToken cancel;
 
   /// Resolves the absolute support threshold for a database of size n.
   Count ResolveMinsup(std::size_t n) const;

@@ -290,15 +290,63 @@ void Comm::ThrowTakeFailure(internal_mp::Mailbox::TakeStatus status, int src,
                 ")");
 }
 
+namespace {
+
+/// Slice width of a cancellable blocking receive: a fired token unblocks
+/// the waiting rank within this bound, whatever the peer is doing.
+constexpr int kCancelPollMs = 10;
+
+}  // namespace
+
 Payload Comm::RecvPayload(int src, int tag, int* actual_src) {
   const int src_world = src == -1 ? -1 : WorldRankOf(src);
   const int timeout_ms = world_->fault_plan.enabled()
                              ? world_->fault_plan.config().recv_timeout_ms
                              : -1;
+  internal_mp::Mailbox& box =
+      world_->mailboxes[static_cast<std::size_t>(WorldRankOf(rank_))];
   internal_mp::Envelope env;
-  const auto status =
-      world_->mailboxes[static_cast<std::size_t>(WorldRankOf(rank_))].TakeFor(
-          comm_id_, src_world, tag, timeout_ms, &env);
+  internal_mp::Mailbox::TakeStatus status;
+  const CancelToken& cancel = world_->cancel;
+  if (!cancel.valid()) {
+    status = box.TakeFor(comm_id_, src_world, tag, timeout_ms, &env);
+  } else {
+    // Cancellable wait: take in bounded slices and re-check the token
+    // between slices. The token is checked, never beaten, here — a rank
+    // blocked on a stalled peer makes no progress, and the serve watchdog
+    // reads exactly that from the missing heartbeats.
+    const bool finite = timeout_ms >= 0;
+    const auto recv_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(finite ? timeout_ms : 0);
+    for (;;) {
+      if (const CancelReason reason = cancel.Check();
+          reason != CancelReason::kNone) {
+        if (obs::RankTracer* tracer = obs::CurrentTracer()) {
+          tracer->EmitInstant(obs::SpanKind::kCancel,
+                              CancelReasonName(reason));
+        }
+        throw CancelledError(reason, WorldRankOf(rank_),
+                             "receive abandoned (tag " + std::to_string(tag) +
+                                 ", comm " + std::to_string(comm_id_) + ")");
+      }
+      int slice_ms = kCancelPollMs;
+      if (finite) {
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                recv_deadline - std::chrono::steady_clock::now())
+                .count();
+        if (remaining <= 0) {
+          status = internal_mp::Mailbox::TakeStatus::kTimeout;
+          break;
+        }
+        slice_ms = static_cast<int>(
+            std::min<long long>(remaining, kCancelPollMs));
+      }
+      status = box.TakeFor(comm_id_, src_world, tag, slice_ms, &env);
+      if (status != internal_mp::Mailbox::TakeStatus::kTimeout) break;
+    }
+  }
   if (status != internal_mp::Mailbox::TakeStatus::kOk) {
     ThrowTakeFailure(status, src, tag);
   }

@@ -16,6 +16,7 @@
 
 #include "pam/mp/fault.h"
 #include "pam/mp/payload.h"
+#include "pam/util/cancel.h"
 
 namespace pam {
 
@@ -141,6 +142,12 @@ struct WorldState {
   std::vector<std::atomic<std::uint64_t>> faults_injected;
   std::vector<std::atomic<std::uint64_t>> send_retries;
   FaultPlan fault_plan;  // default: disabled
+  /// Cooperative cancellation handle installed by Runtime::SetCancelToken.
+  /// When valid, every blocking receive waits in bounded slices and
+  /// re-checks the token between slices, so a fired deadline or cancel
+  /// unblocks every rank promptly (with CancelledError) instead of letting
+  /// it sit in an infinite mailbox wait. Default: null (zero overhead).
+  CancelToken cancel;
 
   /// Wakes every blocked receive; used when a rank fails so the others
   /// unwind (with CommError{kAborted}) instead of deadlocking the join.
@@ -322,6 +329,11 @@ class Comm {
   /// plan injected on its sends, retransmit attempts, and bad envelopes
   /// its receives discarded.
   CommFaultStats MyFaultStats() const;
+
+  /// The world's cancellation token (null unless the runtime installed
+  /// one). Rank programs use this for ring-round / pass-boundary check
+  /// points without threading the token through every call signature.
+  const CancelToken& cancel_token() const { return world_->cancel; }
 
  private:
   friend class Runtime;

@@ -19,6 +19,10 @@ void Runtime::SetFaultConfig(const FaultConfig& config) {
   world_->fault_plan = FaultPlan(config);
 }
 
+void Runtime::SetCancelToken(const CancelToken& token) {
+  world_->cancel = token;
+}
+
 void Runtime::Run(const std::function<void(Comm&)>& rank_main) {
   std::vector<int> members(static_cast<std::size_t>(num_ranks_));
   std::iota(members.begin(), members.end(), 0);

@@ -30,6 +30,12 @@ class Runtime {
   /// restores the zero-overhead lossless path.
   void SetFaultConfig(const FaultConfig& config);
 
+  /// Installs a cooperative cancellation token consulted by every Comm of
+  /// this runtime: blocking receives become bounded-slice waits that throw
+  /// CancelledError once the token fires. Call before Run(); a null token
+  /// (the default) restores the plain infinite-wait path.
+  void SetCancelToken(const CancelToken& token);
+
   /// Runs `rank_main` on every rank. May be called multiple times; traffic
   /// counters accumulate across calls.
   ///

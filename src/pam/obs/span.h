@@ -42,6 +42,16 @@ enum class SpanKind : std::uint8_t {
   /// number). Covers rank-lease wait plus the mining run; the nested run
   /// span taxonomy is available per request via collect_timeline.
   kServeRequest,
+  /// Instant: a cancellation fired at this point (detail = the
+  /// CancelReason name: "deadline", "cancelled", "watchdog", or
+  /// "expired_in_queue" for queue-side shedding). Emitted by the comm
+  /// layer when a blocked receive observes the token, and by the serve
+  /// worker when it types the response.
+  kCancel,
+  /// Instant: the dataset cache evicted an entry to stay within its
+  /// memory budget (detail = "budget", "ttl", or "uncacheable" when a
+  /// dataset larger than the whole budget is served load-through).
+  kCacheEvict,
 };
 
 /// Stable lowercase name ("run", "pass", "ring_round", ...), used as the

@@ -35,6 +35,10 @@ const char* SpanKindName(SpanKind kind) {
       return "rule_gen";
     case SpanKind::kServeRequest:
       return "serve_request";
+    case SpanKind::kCancel:
+      return "cancel";
+    case SpanKind::kCacheEvict:
+      return "cache_evict";
   }
   return "?";
 }

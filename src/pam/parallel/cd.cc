@@ -45,6 +45,7 @@ RankOutput RunCdRank(const TransactionDatabase& db, Comm& comm,
        ++k) {
     const ItemsetCollection& prev = out.frequent.levels.back();
     if (prev.size() < 2) break;
+    config.apriori.cancel.Checkpoint(comm.rank());
     obs::ScopedSpan pass_span(obs::SpanKind::kPass, k, -1, nullptr);
     WallTimer timer;
     PassMetrics m;
@@ -92,7 +93,8 @@ RankOutput RunCdRank(const TransactionDatabase& db, Comm& comm,
         build_span.End();
         obs::ScopedSpan count_span(obs::SpanKind::kSubsetCount,
                                    static_cast<std::int64_t>(chunk));
-        TeamCounter team(&pool, &tree, std::span<Count>(counts), &m.subset);
+        TeamCounter team(&pool, &tree, std::span<Count>(counts), &m.subset,
+                         /*root_filter=*/nullptr, &config.apriori.cancel);
         team.CountSlice(db, slice);
         team.Finish();
         AccumulateShardWork(m.shard_subset_work, team.shard_work());

@@ -64,7 +64,7 @@ bool TryTrianglePass2(const TransactionDatabase& db,
   {
     obs::ScopedSpan count_span(obs::SpanKind::kSubsetCount, /*index=*/0,
                                "triangle");
-    TriangleTeam team(pool, &tri, stats);
+    TriangleTeam team(pool, &tri, stats, &config.cancel);
     team.CountSlice(db, slice);
     team.Finish();
     if (metrics != nullptr) {
@@ -131,7 +131,12 @@ std::uint64_t RingShiftAll(Comm& comm, const std::vector<Page>& local_pages,
 
   std::uint64_t bytes_sent = 0;
   const std::uint64_t my_pages = local_pages.size();
+  const CancelToken& cancel = comm.cancel_token();
   for (std::uint64_t round = 0; round < rounds; ++round) {
+    // Ring-round check point: completing a round is progress (Beat), and a
+    // fired token stops the pipeline here — mid-round waits are already
+    // bounded by the cancellable receive slices in comm.cc.
+    cancel.Checkpoint(comm.rank());
     obs::ScopedSpan round_span(obs::SpanKind::kRingRound,
                                static_cast<std::int64_t>(round));
     // FillBuffer(fd, SBuf): wrap the next local page into a shared

@@ -41,6 +41,7 @@ ParallelResult MineParallelObserved(Algorithm algorithm,
   WallTimer timer;
   Runtime runtime(num_ranks);
   runtime.SetFaultConfig(config.fault);
+  runtime.SetCancelToken(config.apriori.cancel);
   std::vector<RankOutput> outputs(static_cast<std::size_t>(num_ranks));
 
   runtime.Run([&](Comm& comm) {

@@ -175,6 +175,7 @@ RankOutput RunHpaRank(const TransactionDatabase& db, Comm& comm,
        ++k) {
     const ItemsetCollection& prev = out.frequent.levels.back();
     if (prev.size() < 2) break;
+    config.apriori.cancel.Checkpoint(rank);
     obs::ScopedSpan pass_span(obs::SpanKind::kPass, k, -1, nullptr);
     WallTimer timer;
     PassMetrics m;
@@ -232,6 +233,9 @@ RankOutput RunHpaRank(const TransactionDatabase& db, Comm& comm,
         obs::ScopedSpan exchange_span(obs::SpanKind::kAllToAll, -1,
                                       "hpa_subsets");
         for (std::size_t t = slice.begin; t < slice.end; ++t) {
+          if ((t - slice.begin) % kCancelCheckStride == 0) {
+            config.apriori.cancel.Checkpoint(rank);
+          }
           router.RouteTransaction(db.Transaction(t));
           ++m.transactions_processed;
         }

@@ -53,6 +53,7 @@ RankOutput RunIddRank(const TransactionDatabase& db, Comm& comm,
        ++k) {
     const ItemsetCollection& prev = out.frequent.levels.back();
     if (prev.size() < 2) break;
+    config.apriori.cancel.Checkpoint(rank);
     obs::ScopedSpan pass_span(obs::SpanKind::kPass, k, -1, nullptr);
     WallTimer timer;
     PassMetrics m;
@@ -91,7 +92,7 @@ RankOutput RunIddRank(const TransactionDatabase& db, Comm& comm,
     std::vector<Count> counts(candidates.size(), 0);
     if (triangle) {
       tri.emplace(prev);
-      tri_team.emplace(&pool, &*tri, &m.subset);
+      tri_team.emplace(&pool, &*tri, &m.subset, &config.apriori.cancel);
     } else {
       obs::ScopedSpan build_span(obs::SpanKind::kTreeBuild);
       tree.emplace(candidates, my_ids, config.apriori.tree);
@@ -102,7 +103,7 @@ RankOutput RunIddRank(const TransactionDatabase& db, Comm& comm,
               ? &partition.first_item_filter[static_cast<std::size_t>(rank)]
               : nullptr;
       tree_team.emplace(&pool, &*tree, std::span<Count>(counts), &m.subset,
-                        filter);
+                        filter, &config.apriori.cancel);
     }
     std::int64_t page_index = 0;
     auto process = [&](PageView page) {

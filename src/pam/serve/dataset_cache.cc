@@ -3,14 +3,29 @@
 #include <span>
 #include <utility>
 
+#include "pam/obs/trace.h"
 #include "pam/tdb/page_buffer.h"
 
 namespace pam::serve {
+
+namespace {
+
+void EmitCacheInstant(const char* detail) {
+  obs::RankTracer* tracer = obs::CurrentTracer();
+  if (tracer != nullptr) tracer->EmitInstant(obs::SpanKind::kCacheEvict, detail);
+}
+
+}  // namespace
 
 void DatasetCache::Register(const std::string& id, Loader loader) {
   auto entry = std::make_shared<Entry>();
   entry->loader = std::move(loader);
   std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it != entries_.end() && it->second->loaded != nullptr) {
+    // Replacement drops the old resident copy (handles keep it alive).
+    resident_bytes_ -= it->second->loaded->wire_bytes;
+  }
   entries_[id] = std::move(entry);
 }
 
@@ -29,23 +44,78 @@ bool DatasetCache::Contains(const std::string& id) const {
   return entries_.count(id) > 0;
 }
 
+void DatasetCache::EvictLocked(const std::string& id, Entry& entry,
+                               const char* why) {
+  (void)id;
+  resident_bytes_ -= entry.loaded->wire_bytes;
+  entry.loaded.reset();
+  ++evictions_;
+  EmitCacheInstant(why);
+}
+
+void DatasetCache::SweepTtlLocked(
+    std::chrono::steady_clock::time_point now) {
+  if (ttl_ms_ <= 0) return;
+  for (auto& [id, entry] : entries_) {
+    if (entry->loaded == nullptr) continue;
+    if (entry->loaded.use_count() > 1) continue;  // pinned by a request
+    const double idle_ms =
+        std::chrono::duration<double, std::milli>(now - entry->last_use)
+            .count();
+    if (idle_ms > ttl_ms_) EvictLocked(id, *entry, "ttl");
+  }
+}
+
+bool DatasetCache::MakeRoomLocked(std::size_t needed) {
+  if (budget_bytes_ == 0) return true;
+  if (needed > budget_bytes_) return false;  // alone over budget
+  while (resident_bytes_ + needed > budget_bytes_) {
+    // LRU victim: the unpinned resident entry idle the longest.
+    Entry* victim = nullptr;
+    const std::string* victim_id = nullptr;
+    for (auto& [id, entry] : entries_) {
+      if (entry->loaded == nullptr) continue;
+      if (entry->loaded.use_count() > 1) continue;  // pinned
+      if (victim == nullptr || entry->last_use < victim->last_use) {
+        victim = entry.get();
+        victim_id = &id;
+      }
+    }
+    if (victim == nullptr) return false;  // everything resident is pinned
+    EvictLocked(*victim_id, *victim, "budget");
+  }
+  return true;
+}
+
 Result<DatasetHandle> DatasetCache::Get(const std::string& id) {
+  const auto now = std::chrono::steady_clock::now();
   std::shared_ptr<Entry> entry;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    SweepTtlLocked(now);
     auto it = entries_.find(id);
     if (it == entries_.end()) {
       return Result<DatasetHandle>(
           Status::Error("unknown dataset '" + id + "'"));
     }
     entry = it->second;
+    if (entry->loaded != nullptr) {
+      ++hits_;
+      entry->last_use = now;
+      return Result<DatasetHandle>(DatasetHandle(entry->loaded));
+    }
   }
 
-  std::lock_guard<std::mutex> entry_lock(entry->mu);
-  if (entry->loaded != nullptr) {
+  // Cold: serialize the load on this entry only, then re-check — another
+  // worker may have finished the same load while we waited for load_mu.
+  std::lock_guard<std::mutex> load_lock(entry->load_mu);
+  {
     std::lock_guard<std::mutex> lock(mu_);
-    ++hits_;
-    return Result<DatasetHandle>(DatasetHandle(entry->loaded));
+    if (entry->loaded != nullptr) {
+      ++hits_;
+      entry->last_use = now;
+      return Result<DatasetHandle>(DatasetHandle(entry->loaded));
+    }
   }
 
   Result<TransactionDatabase> loaded = entry->loader();
@@ -61,12 +131,22 @@ Result<DatasetHandle> DatasetCache::Get(const std::string& id) {
     dataset->pages.push_back(Payload::Copy(std::as_bytes(
         std::span<const std::uint32_t>(page.data(), page.size()))));
   }
-  entry->loaded = std::move(dataset);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++misses_;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++misses_;
+  auto it = entries_.find(id);
+  const bool current = it != entries_.end() && it->second == entry;
+  if (current && MakeRoomLocked(dataset->wire_bytes)) {
+    entry->loaded = dataset;
+    entry->last_use = now;
+    resident_bytes_ += dataset->wire_bytes;
+  } else {
+    // Load-through: the request gets its dataset, the cache keeps no
+    // reference, and the budget is never exceeded. The bytes die with the
+    // last handle.
+    EmitCacheInstant("uncacheable");
   }
-  return Result<DatasetHandle>(DatasetHandle(entry->loaded));
+  return Result<DatasetHandle>(DatasetHandle(std::move(dataset)));
 }
 
 std::uint64_t DatasetCache::Hits() const {
@@ -79,19 +159,14 @@ std::uint64_t DatasetCache::Misses() const {
   return misses_;
 }
 
+std::uint64_t DatasetCache::Evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
 std::size_t DatasetCache::ResidentBytes() const {
-  std::vector<std::shared_ptr<Entry>> entries;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    entries.reserve(entries_.size());
-    for (const auto& [id, entry] : entries_) entries.push_back(entry);
-  }
-  std::size_t total = 0;
-  for (const auto& entry : entries) {
-    std::lock_guard<std::mutex> entry_lock(entry->mu);
-    if (entry->loaded != nullptr) total += entry->loaded->wire_bytes;
-  }
-  return total;
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
 }
 
 }  // namespace pam::serve

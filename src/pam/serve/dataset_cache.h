@@ -1,6 +1,7 @@
 #ifndef PAM_SERVE_DATASET_CACHE_H_
 #define PAM_SERVE_DATASET_CACHE_H_
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -38,7 +39,8 @@ struct CachedDataset {
 
 /// Shared handle to a cached dataset. Requests hold one for the duration
 /// of their run, so eviction/replacement can never pull a database out
-/// from under an in-flight miner.
+/// from under an in-flight miner — eviction only drops the cache's own
+/// reference; the pages die when the last in-flight handle does.
 using DatasetHandle = std::shared_ptr<const CachedDataset>;
 
 /// Keyed, lazily-loading dataset cache of the mining server. Datasets are
@@ -51,6 +53,17 @@ using DatasetHandle = std::shared_ptr<const CachedDataset>;
 /// catalog, so identity-by-name is the honest contract; see DESIGN.md
 /// §12 "cache keying").
 ///
+/// Graceful degradation (DESIGN.md §13): with a nonzero `budget_bytes`
+/// the cache never keeps more than that many resident wire bytes. Before
+/// caching a fresh load it evicts least-recently-used unpinned entries
+/// (pinned = some request still holds the handle; use_count > 1) until
+/// the newcomer fits; if it cannot fit — the dataset alone exceeds the
+/// budget, or everything resident is pinned — the load is handed through
+/// *uncached*, so requests still succeed, just without sharing. A nonzero
+/// `ttl_ms` additionally drops unpinned entries idle longer than the TTL
+/// (swept opportunistically on Get). ResidentBytes() therefore never
+/// exceeds budget_bytes when one is set.
+///
 /// Thread-safe. Concurrent first Gets of one id serialize on the entry,
 /// not the whole cache, so loading a cold dataset never blocks hits on a
 /// hot one.
@@ -59,8 +72,13 @@ class DatasetCache {
   using Loader = std::function<Result<TransactionDatabase>()>;
 
   /// `page_bytes` sizes the wire pages of every cached dataset's image.
-  explicit DatasetCache(std::size_t page_bytes = 64 * 1024)
-      : page_bytes_(page_bytes) {}
+  /// `budget_bytes` caps resident wire bytes (0 = unlimited); `ttl_ms`
+  /// drops entries idle longer than this (0 = never).
+  explicit DatasetCache(std::size_t page_bytes = 64 * 1024,
+                        std::size_t budget_bytes = 0, double ttl_ms = 0)
+      : page_bytes_(page_bytes),
+        budget_bytes_(budget_bytes),
+        ttl_ms_(ttl_ms) {}
 
   /// Registers dataset `id`, loaded lazily by `loader` on first Get.
   /// Re-registering an id replaces its loader and drops any loaded entry
@@ -81,21 +99,42 @@ class DatasetCache {
   /// Gets satisfied by an already-loaded entry / requiring a load.
   std::uint64_t Hits() const;
   std::uint64_t Misses() const;
-  /// Total wire bytes resident across loaded entries.
+  /// Entries dropped from residency by the budget or the TTL.
+  std::uint64_t Evictions() const;
+  /// Total wire bytes resident across loaded entries; <= budget_bytes
+  /// whenever a budget is set.
   std::size_t ResidentBytes() const;
+  std::size_t BudgetBytes() const { return budget_bytes_; }
 
  private:
   struct Entry {
-    std::mutex mu;
+    /// Serializes the expensive load of this entry only; never held while
+    /// touching cache-wide state. `loaded` and `last_use` live under the
+    /// cache-wide mu_ (they are cheap shared_ptr / time_point ops), which
+    /// is what lets eviction scan entries without taking every load_mu.
+    std::mutex load_mu;
     Loader loader;
     DatasetHandle loaded;
+    std::chrono::steady_clock::time_point last_use{};
   };
 
+  /// Drops `entry`'s resident dataset (caller holds mu_).
+  void EvictLocked(const std::string& id, Entry& entry, const char* why);
+  /// Applies the TTL to every unpinned resident entry (caller holds mu_).
+  void SweepTtlLocked(std::chrono::steady_clock::time_point now);
+  /// Evicts LRU unpinned entries until `needed` more bytes fit the
+  /// budget; returns false when they cannot (caller holds mu_).
+  bool MakeRoomLocked(std::size_t needed);
+
   const std::size_t page_bytes_;
+  const std::size_t budget_bytes_;
+  const double ttl_ms_;
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<Entry>> entries_;
+  std::size_t resident_bytes_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace pam::serve

@@ -25,6 +25,10 @@ const char* ServeStatusName(ServeStatus status) {
       return "shutting_down";
     case ServeStatus::kMiningFault:
       return "mining_fault";
+    case ServeStatus::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ServeStatus::kCancelled:
+      return "cancelled";
   }
   return "?";
 }
@@ -40,6 +44,8 @@ bool IsRejection(ServeStatus status) {
       return true;
     case ServeStatus::kOk:
     case ServeStatus::kMiningFault:
+    case ServeStatus::kDeadlineExceeded:
+    case ServeStatus::kCancelled:
       return false;
   }
   return false;
@@ -52,17 +58,48 @@ double SecondsSince(std::chrono::steady_clock::time_point start,
   return std::chrono::duration<double>(end - start).count();
 }
 
+/// Maps a fired token's reason onto the typed response. A watchdog abort
+/// is a server-side fault (the request did nothing wrong), so it lands on
+/// kMiningFault like any other infrastructure failure.
+void SetCancelledResponse(ServeResponse* response, CancelReason reason,
+                          const std::string& detail) {
+  switch (reason) {
+    case CancelReason::kDeadline:
+      response->status = ServeStatus::kDeadlineExceeded;
+      response->error = "deadline exceeded: " + detail;
+      return;
+    case CancelReason::kWatchdog:
+      response->status = ServeStatus::kMiningFault;
+      response->error = "watchdog: no progress heartbeat: " + detail;
+      return;
+    case CancelReason::kCancelled:
+    case CancelReason::kNone:
+      break;
+  }
+  response->status = ServeStatus::kCancelled;
+  response->error = "cancelled: " + detail;
+}
+
+void EmitCancelInstant(const char* detail) {
+  obs::RankTracer* tracer = obs::CurrentTracer();
+  if (tracer != nullptr) tracer->EmitInstant(obs::SpanKind::kCancel, detail);
+}
+
 }  // namespace
 
 MiningServer::MiningServer(const ServerConfig& config)
     : config_(config),
       pool_(config.pool_ranks),
-      cache_(config.cache_page_bytes) {
+      cache_(config.cache_page_bytes, config.cache_budget_bytes,
+             config.cache_ttl_ms) {
   serve_obs_.origin = std::chrono::steady_clock::now();
   const int workers = config_.workers > 0 ? config_.workers : 1;
   workers_.reserve(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w) {
     workers_.emplace_back([this, w] { WorkerMain(w); });
+  }
+  if (config_.watchdog_ms > 0) {
+    watchdog_ = std::thread([this] { WatchdogMain(); });
   }
 }
 
@@ -138,6 +175,23 @@ std::future<ServeResponse> MiningServer::Submit(MiningRequest request) {
   ++usage.admitted;
   Job job;
   job.request = std::move(request);
+  // Cancellation plumbing at admission (DESIGN.md §13): apply the server
+  // default deadline, materialize a token when a deadline or the watchdog
+  // needs one, and arm the deadline *now* — queue time counts against it,
+  // and MiningSession::Run sees has_deadline and will not re-arm later.
+  if (job.request.deadline_ms <= 0) {
+    job.request.deadline_ms = config_.default_deadline_ms;
+  }
+  if (!job.request.cancel.valid() &&
+      (job.request.deadline_ms > 0 || config_.watchdog_ms > 0)) {
+    job.request.cancel = CancelToken::Create();
+  }
+  if (job.request.cancel.valid()) {
+    if (job.request.deadline_ms > 0 && !job.request.cancel.has_deadline()) {
+      job.request.cancel.ArmDeadlineIn(job.request.deadline_ms);
+    }
+    job.request.cancel.Beat();
+  }
   job.enqueued_at = std::chrono::steady_clock::now();
   job.sequence = next_sequence_++;
   std::future<ServeResponse> future = job.promise.get_future();
@@ -183,43 +237,80 @@ ServeResponse MiningServer::Process(Job& job, int worker_id) {
   ServeResponse response;
   response.queue_seconds = SecondsSince(job.enqueued_at, dequeued_at);
 
+  const CancelToken token = job.request.cancel;
   const int ranks =
       IsParallel(job.request.algorithm) ? job.request.num_ranks : 1;
   double charged = 0.0;
+  bool shed_in_queue = false;
   {
     obs::ScopedSpan span(obs::SpanKind::kServeRequest,
                          static_cast<std::int64_t>(job.sequence), nullptr);
-    Result<DatasetHandle> dataset = cache_.Get(job.request.dataset);
-    if (!dataset.ok()) {
-      // Registered at admission but gone or unloadable now (loader I/O
-      // failure); still a typed response, never an exception.
-      response.status = ServeStatus::kUnknownDataset;
-      response.error = dataset.status().message();
+    const CancelReason queued_reason = token.Check();
+    if (queued_reason != CancelReason::kNone) {
+      // Queue-side shedding: the token fired while the request waited, so
+      // it dies here — no dataset load, no rank lease, no run.
+      shed_in_queue = queued_reason == CancelReason::kDeadline;
+      SetCancelledResponse(&response, queued_reason, "abandoned in queue");
+      EmitCancelInstant(shed_in_queue ? "expired_in_queue"
+                                      : "cancelled_in_queue");
       span.Cancel();
     } else {
-      response.dataset = dataset.value();
-      RankLease lease = pool_.Lease(ranks);
-      if (!lease.held()) {
-        response.status = ServeStatus::kShuttingDown;
-        response.error = "rank pool closed";
+      Result<DatasetHandle> dataset = cache_.Get(job.request.dataset);
+      if (!dataset.ok()) {
+        // Registered at admission but gone or unloadable now (loader I/O
+        // failure): a post-admission infrastructure failure, so it lands
+        // on kMiningFault — keeping every admitted request inside
+        // `ok + mining_fault + cancelled + deadline_exceeded`.
+        response.status = ServeStatus::kMiningFault;
+        response.error = "dataset load failed: " + dataset.status().message();
         span.Cancel();
       } else {
-        MiningSession session;
-        try {
-          response.report = session.Run(job.request, *response.dataset->db);
-          response.status = ServeStatus::kOk;
-        } catch (const CommError& e) {
-          response.status = ServeStatus::kMiningFault;
-          response.error = std::string("transport failure: kind=") +
-                           CommErrorKindName(e.kind()) + " rank=" +
-                           std::to_string(e.rank()) + " peer=" +
-                           std::to_string(e.peer()) + ": " + e.what();
+        response.dataset = dataset.value();
+        RankLease lease = pool_.Lease(ranks);
+        if (!lease.held()) {
+          // Shutdown closed the pool after this request was admitted: a
+          // post-admission cancellation, not an admission rejection.
+          response.status = ServeStatus::kCancelled;
+          response.error = "cancelled: rank pool closed";
+          span.Cancel();
+        } else {
+          if (token.valid()) {
+            token.Beat();
+            std::lock_guard<std::mutex> lock(mu_);
+            inflight_[job.sequence] = token;
+          }
+          MiningSession session;
+          try {
+            response.report = session.Run(job.request, *response.dataset->db);
+            response.status = ServeStatus::kOk;
+          } catch (const CancelledError& e) {
+            SetCancelledResponse(&response, e.reason(), e.what());
+          } catch (const CommError& e) {
+            // Safety net: if the token fired, a secondary kAborted unwind
+            // may have outrun the CancelledError — the reason on the token
+            // is still the truth.
+            const CancelReason reason = token.Check();
+            if (reason != CancelReason::kNone) {
+              SetCancelledResponse(&response, reason, e.what());
+            } else {
+              response.status = ServeStatus::kMiningFault;
+              response.error = std::string("transport failure: kind=") +
+                               CommErrorKindName(e.kind()) + " rank=" +
+                               std::to_string(e.rank()) + " peer=" +
+                               std::to_string(e.peer()) + ": " + e.what();
+            }
+          }
+          if (token.valid()) {
+            std::lock_guard<std::mutex> lock(mu_);
+            inflight_.erase(job.sequence);
+          }
+          lease.Release();
+          response.service_seconds =
+              SecondsSince(dequeued_at, std::chrono::steady_clock::now());
+          // The machine was used whether the run completed, faulted, or
+          // was cancelled mid-flight.
+          charged = static_cast<double>(ranks) * response.service_seconds;
         }
-        lease.Release();
-        response.service_seconds =
-            SecondsSince(dequeued_at, std::chrono::steady_clock::now());
-        // The machine was used whether the run completed or faulted.
-        charged = static_cast<double>(ranks) * response.service_seconds;
       }
     }
   }
@@ -233,12 +324,43 @@ ServeResponse MiningServer::Process(Job& job, int worker_id) {
   --usage.in_flight;
   usage.rank_seconds += charged;
   stats_.rank_seconds_charged += charged;
-  if (response.status == ServeStatus::kOk) {
-    ++stats_.completed;
-  } else if (response.status == ServeStatus::kMiningFault) {
-    ++stats_.mining_faults;
+  switch (response.status) {
+    case ServeStatus::kOk:
+      ++stats_.completed;
+      break;
+    case ServeStatus::kMiningFault:
+      ++stats_.mining_faults;
+      break;
+    case ServeStatus::kDeadlineExceeded:
+      ++stats_.deadline_exceeded;
+      if (shed_in_queue) ++stats_.expired_in_queue;
+      break;
+    case ServeStatus::kCancelled:
+      ++stats_.cancelled;
+      break;
+    default:
+      break;  // unreachable: Process only produces the statuses above
   }
   return response;
+}
+
+void MiningServer::WatchdogMain() {
+  const auto poll = std::chrono::duration<double, std::milli>(
+      config_.watchdog_ms / 4.0 > 1.0 ? config_.watchdog_ms / 4.0 : 1.0);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lock, poll);
+    if (watchdog_stop_) break;
+    for (auto& [sequence, token] : inflight_) {
+      // Heartbeats come only from genuine progress points, so a token
+      // that stopped beating is a world where *no* rank is advancing.
+      if (token.Check() == CancelReason::kNone &&
+          token.MillisSinceBeat() > config_.watchdog_ms) {
+        token.Cancel(CancelReason::kWatchdog);
+        ++stats_.watchdog_fired;
+      }
+    }
+  }
 }
 
 ServerStats MiningServer::Stats() const {
@@ -247,6 +369,7 @@ ServerStats MiningServer::Stats() const {
   stats.queue_depth = queue_.size();
   stats.cache_hits = cache_.Hits();
   stats.cache_misses = cache_.Misses();
+  stats.cache_evictions = cache_.Evictions();
   stats.leased_ranks = pool_.capacity() - pool_.Available();
   return stats;
 }
@@ -266,6 +389,15 @@ void MiningServer::Shutdown() {
   queue_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
+  // Only now stop the watchdog: it stays armed through the drain, so a
+  // request stalling during shutdown still becomes a typed abort instead
+  // of wedging this join.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
   // Workers drained every queued request and returned every lease; close
   // the pool so any stray Lease call fails fast instead of blocking.
   pool_.Close();

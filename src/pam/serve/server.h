@@ -20,10 +20,9 @@
 namespace pam::serve {
 
 /// Outcome of one served request. Rejections are decided synchronously at
-/// Submit (admission control); kMiningFault is the one post-admission
-/// failure — the run threw CommError under transport fault injection, so
-/// the request terminated with a typed error instead of silently wrong
-/// counts (the library's exactness contract, DESIGN.md §8).
+/// Submit (admission control); everything after admission terminates with
+/// one of the typed post-admission statuses — never an exception, never
+/// silently wrong counts (the library's exactness contract, DESIGN.md §8).
 enum class ServeStatus {
   kOk,
   /// Admission rejections (the request never ran):
@@ -33,8 +32,13 @@ enum class ServeStatus {
   kUnknownDataset,         // dataset id not registered with the cache
   kInvalidRequest,         // malformed (e.g. ranks outside the pool)
   kShuttingDown,           // server no longer accepting
-  /// Post-admission typed failure:
-  kMiningFault,            // run died with CommError (fault injection)
+  /// Post-admission typed failures (DESIGN.md §13):
+  kMiningFault,            // run died with CommError (fault injection),
+                           // a watchdog abort, or a dataset load failure
+  kDeadlineExceeded,       // the request's deadline fired (queued or
+                           // mid-run); partial work was discarded
+  kCancelled,              // the caller's CancelToken fired, or shutdown
+                           // overtook the request after admission
 };
 
 /// Stable lowercase name ("ok", "queue_full", ...).
@@ -68,6 +72,20 @@ struct ServerConfig {
   std::map<std::string, TenantQuota> tenant_quotas;
   /// Wire page size of the dataset cache's payload image.
   std::size_t cache_page_bytes = 64 * 1024;
+  /// Deadline applied to requests that carry none, in milliseconds
+  /// (0 = none). Armed at admission, so queue time counts against it.
+  double default_deadline_ms = 0;
+  /// Resident-bytes budget of the dataset cache (0 = unlimited): over
+  /// budget, LRU unpinned datasets are evicted, and a dataset that cannot
+  /// fit is served load-through uncached (graceful degradation).
+  std::size_t cache_budget_bytes = 0;
+  /// Idle TTL of cached datasets in milliseconds (0 = never expires).
+  double cache_ttl_ms = 0;
+  /// Per-request progress watchdog (0 = disabled): a monitor thread
+  /// cancels (reason kWatchdog) any executing request whose token has not
+  /// seen a progress heartbeat for this long, converting a stalled world
+  /// into a typed kMiningFault response instead of a hung rank lease.
+  double watchdog_ms = 0;
 };
 
 /// Everything the server says about one request.
@@ -90,12 +108,21 @@ struct ServeResponse {
   bool rejected() const { return IsRejection(status); }
 };
 
-/// Monotonic server counters (snapshot).
+/// Monotonic server counters (snapshot). Once the server has drained,
+/// `submitted == admitted + TotalRejected()` and every admitted request
+/// is accounted exactly once:
+/// `admitted == completed + mining_faults + cancelled + deadline_exceeded`.
 struct ServerStats {
   std::uint64_t submitted = 0;
   std::uint64_t admitted = 0;
   std::uint64_t completed = 0;      // kOk responses
   std::uint64_t mining_faults = 0;  // kMiningFault responses
+  std::uint64_t cancelled = 0;          // kCancelled responses
+  std::uint64_t deadline_exceeded = 0;  // kDeadlineExceeded responses
+  /// Of deadline_exceeded: shed at dequeue, before leasing any rank.
+  std::uint64_t expired_in_queue = 0;
+  /// Times the watchdog cancelled a stalled request's token.
+  std::uint64_t watchdog_fired = 0;
   std::uint64_t rejected_queue_full = 0;
   std::uint64_t rejected_tenant_in_flight = 0;
   std::uint64_t rejected_tenant_budget = 0;
@@ -104,6 +131,7 @@ struct ServerStats {
   std::uint64_t rejected_shutdown = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
   std::size_t queue_depth = 0;       // current
   std::size_t peak_queue_depth = 0;
   int leased_ranks = 0;              // current (pool capacity - available)
@@ -150,6 +178,16 @@ struct TenantUsage {
 /// unrecoverable one yields a typed kMiningFault response (the worker and
 /// its rank lease always survive and are returned).
 ///
+/// Deadlines and cancellation (DESIGN.md §13): a request's deadline_ms
+/// (or the server default) is armed on its CancelToken at admission, so
+/// queue time counts; a request whose token fires while queued is shed at
+/// dequeue without leasing ranks, and one that fires mid-run unwinds
+/// cooperatively at the next check point. Either way the response is
+/// typed (kDeadlineExceeded / kCancelled), the lease is returned, and the
+/// tenant is charged for the machine time actually used. A configured
+/// watchdog additionally cancels any executing request whose heartbeat
+/// stops (kWatchdog -> kMiningFault).
+///
 /// Thread-safe: Submit may be called from any number of client threads.
 class MiningServer {
  public:
@@ -192,6 +230,7 @@ class MiningServer {
   };
 
   void WorkerMain(int worker_id);
+  void WatchdogMain();
   ServeResponse Process(Job& job, int worker_id);
   const TenantQuota& QuotaFor(const std::string& tenant) const;
   std::future<ServeResponse> Reject(ServeStatus status, std::string error);
@@ -202,15 +241,23 @@ class MiningServer {
 
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;
+  std::condition_variable watchdog_cv_;
   std::deque<Job> queue_;
   std::map<std::string, TenantUsage> tenants_;
+  /// Tokens of requests currently executing a mining run, keyed by job
+  /// sequence — the watchdog's scan set.
+  std::map<std::uint64_t, CancelToken> inflight_;
   ServerStats stats_;
   std::uint64_t next_sequence_ = 0;
   bool accepting_ = true;
   bool stopping_ = false;
+  /// Set only after the workers drained, so the watchdog can still abort
+  /// a request that stalls while shutdown is draining the queue.
+  bool watchdog_stop_ = false;
 
   obs::SessionObs serve_obs_;
   std::vector<std::thread> workers_;
+  std::thread watchdog_;
 };
 
 }  // namespace pam::serve

@@ -39,6 +39,9 @@ constexpr const char* kUsage = R"(usage: pam_serve [flags] < requests
   --tenant-inflight N  per-tenant max in-flight requests (default 0 = off)
   --tenant-budget S  per-tenant rank-seconds budget (default 0 = off)
   --page-bytes B     dataset cache wire-page size (default 65536)
+  --default-deadline-ms D  deadline for requests carrying none (0 = off)
+  --cache-budget-mb M  dataset cache resident budget in MiB (0 = off)
+  --watchdog-ms W    cancel runs with no progress heartbeat for W ms (0 = off)
   --script F         read request lines from F instead of stdin
   --trace-out F      write the serve_request span timeline to F
   --quiet            print only the final counter summary
@@ -46,6 +49,8 @@ constexpr const char* kUsage = R"(usage: pam_serve [flags] < requests
 request lines (one per request; '#' starts a comment):
   mine id=TAG tenant=NAME dataset=NAME [algorithm=ALG] [ranks=P]
        [minsup=PCT] [minconf=PCT] [rules] [threads=T] [max-k=K]
+       [deadline-ms=D]
+  cancel TAG         fire the cancel token of an earlier mine line
 )";
 
 struct PendingRequest {
@@ -90,6 +95,7 @@ int main(int argc, char** argv) {
   const std::vector<std::string> known = {
       "datasets", "format", "ranks",    "workers",   "queue",
       "tenant-inflight",    "tenant-budget",         "page-bytes",
+      "default-deadline-ms", "cache-budget-mb",      "watchdog-ms",
       "script",   "trace-out", "quiet", "help"};
   for (const std::string& f : flags.UnknownFlags(known)) {
     std::fprintf(stderr, "error: unknown flag --%s\n%s", f.c_str(), kUsage);
@@ -110,6 +116,10 @@ int main(int argc, char** argv) {
   config.default_quota.rank_seconds = flags.GetDouble("tenant-budget", 0.0);
   config.cache_page_bytes =
       static_cast<std::size_t>(flags.GetInt("page-bytes", 64 * 1024));
+  config.default_deadline_ms = flags.GetDouble("default-deadline-ms", 0.0);
+  config.cache_budget_bytes = static_cast<std::size_t>(
+      flags.GetDouble("cache-budget-mb", 0.0) * 1024.0 * 1024.0);
+  config.watchdog_ms = flags.GetDouble("watchdog-ms", 0.0);
 
   pam::serve::MiningServer server(config);
   pam::obs::ChromeTraceWriter trace_writer;
@@ -157,6 +167,10 @@ int main(int argc, char** argv) {
   std::istream& in = flags.Has("script") ? script : std::cin;
 
   std::vector<PendingRequest> pending;
+  // Every mine line gets a client-held CancelToken; a later `cancel TAG`
+  // line fires it — the server observes the shared token and sheds the
+  // request whether it is still queued or already mid-run.
+  std::map<std::string, pam::CancelToken> tokens;
   std::string line;
   int bad_lines = 0;
   while (std::getline(in, line)) {
@@ -165,6 +179,19 @@ int main(int argc, char** argv) {
     std::string verb;
     std::map<std::string, std::string> kv;
     if (!ParseRequestLine(line, &verb, &kv)) continue;  // blank
+    if (verb == "cancel") {
+      const std::string target =
+          kv.empty() ? std::string() : kv.begin()->first;
+      auto it = tokens.find(target);
+      if (it == tokens.end()) {
+        std::fprintf(stderr, "warning: cancel of unknown id '%s' ignored\n",
+                     target.c_str());
+        ++bad_lines;
+      } else {
+        it->second.Cancel();
+      }
+      continue;
+    }
     if (verb != "mine") {
       std::fprintf(stderr, "warning: unknown verb '%s' ignored\n",
                    verb.c_str());
@@ -191,11 +218,14 @@ int main(int argc, char** argv) {
     request.generate_rules = Lookup(kv, "rules", "false") == "true";
     request.min_confidence =
         std::atof(Lookup(kv, "minconf", "50").c_str()) / 100.0;
+    request.deadline_ms = std::atof(Lookup(kv, "deadline-ms", "0").c_str());
 
     PendingRequest p;
     p.id = Lookup(kv, "id", "req" + std::to_string(pending.size()));
     p.tenant = request.tenant;
     p.dataset = request.dataset;
+    request.cancel = pam::CancelToken::Create();
+    tokens[p.id] = request.cancel;
     p.future = server.Submit(std::move(request));
     pending.push_back(std::move(p));
   }
@@ -220,29 +250,37 @@ int main(int argc, char** argv) {
                     response.error.c_str());
       }
     }
-    if (!response.ok() && !response.rejected()) ++failures;
+    // Deadline and cancel outcomes are expected typed responses, not tool
+    // failures; only infrastructure faults flip the exit code.
+    if (response.status == pam::serve::ServeStatus::kMiningFault) ++failures;
   }
 
   server.Shutdown();
   const pam::serve::ServerStats stats = server.Stats();
   std::printf(
-      "served %llu/%llu requests (%llu ok, %llu faulted, %llu rejected: "
+      "served %llu/%llu requests (%llu ok, %llu faulted, %llu cancelled, "
+      "%llu deadline_exceeded [%llu expired_in_queue], %llu rejected: "
       "%llu queue_full, %llu quota, %llu budget, %llu unknown_dataset)\n",
       static_cast<unsigned long long>(stats.admitted),
       static_cast<unsigned long long>(stats.submitted),
       static_cast<unsigned long long>(stats.completed),
       static_cast<unsigned long long>(stats.mining_faults),
+      static_cast<unsigned long long>(stats.cancelled),
+      static_cast<unsigned long long>(stats.deadline_exceeded),
+      static_cast<unsigned long long>(stats.expired_in_queue),
       static_cast<unsigned long long>(stats.TotalRejected()),
       static_cast<unsigned long long>(stats.rejected_queue_full),
       static_cast<unsigned long long>(stats.rejected_tenant_in_flight),
       static_cast<unsigned long long>(stats.rejected_tenant_budget),
       static_cast<unsigned long long>(stats.rejected_unknown_dataset));
   std::printf(
-      "cache: %llu hits, %llu misses, %zu resident bytes; peak queue %zu; "
-      "%.3f rank-seconds charged\n",
+      "cache: %llu hits, %llu misses, %llu evictions, %zu resident bytes; "
+      "peak queue %zu; %llu watchdog fires; %.3f rank-seconds charged\n",
       static_cast<unsigned long long>(stats.cache_hits),
       static_cast<unsigned long long>(stats.cache_misses),
+      static_cast<unsigned long long>(stats.cache_evictions),
       server.datasets().ResidentBytes(), stats.peak_queue_depth,
+      static_cast<unsigned long long>(stats.watchdog_fired),
       stats.rank_seconds_charged);
 
   if (flags.Has("trace-out")) {
