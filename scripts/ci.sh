@@ -13,8 +13,11 @@
 # The tsan job builds under ThreadSanitizer and runs the suites that
 # exercise real threads: the intra-rank counting team differentials
 # (label `threaded`), the chaos matrix (rank threads + counting workers
-# over a faulty transport), and the mining-server suite (label `serve`:
-# concurrent tenants over a shared rank pool and dataset cache).
+# over a faulty transport), the mining-server suite (label `serve`:
+# concurrent tenants over a shared rank pool and dataset cache), and the
+# adaptive load-balancing suite (label `balance`: per-pass repartitioning
+# decisions folded from worker-attributed counters, where a data race
+# would silently desynchronize the ranks' partitions).
 #
 #   scripts/ci.sh [release|sanitize|tsan]   (default: all)
 set -euo pipefail
@@ -41,15 +44,15 @@ run_preset() {
 # (a cancelled run tears down mid-pass), TSan for the token/watchdog
 # concurrency.
 run_chaos_sanitized() {
-  echo "=== chaos + serve suites under ASan/UBSan ==="
-  ctest --preset sanitize -L 'chaos|serve' --timeout "$test_timeout"
+  echo "=== chaos + serve + balance suites under ASan/UBSan ==="
+  ctest --preset sanitize -L 'chaos|serve|balance' --timeout "$test_timeout"
 }
 
 run_tsan() {
-  echo "=== threaded + chaos + serve suites under TSan ==="
+  echo "=== threaded + chaos + serve + balance suites under TSan ==="
   cmake --preset tsan
   cmake --build --preset tsan
-  ctest --preset tsan -L 'threaded|chaos|serve' --timeout "$test_timeout"
+  ctest --preset tsan -L 'threaded|chaos|serve|balance' --timeout "$test_timeout"
 }
 
 # Smoke pass of the transport benchmark: exercises the zero-copy vs
@@ -90,6 +93,40 @@ assert 0 < dl["survivor_p95_ms"] <= dl["survivor_p99_ms"], dl
 print(f"BENCH_serve.json: {len(sections)} sections, "
       f"{over['queue_full']} queue-full rejections, "
       f"deadline shed rate {dl['shed_rate']:.2f}: ok")
+PYEOF
+}
+
+# Smoke pass of the load-balancing benchmark: static vs adaptive IDD on a
+# tiny skewed-prefix workload (bench_balance exits non-zero if any variant
+# diverges from the serial reference), then checks the emitted
+# BENCH_balance.json shape. The imbalance-reduction numbers only mean
+# something at full size, so the smoke gate checks exactness and shape.
+run_bench_balance_smoke() {
+  echo "=== bench_balance smoke ==="
+  (cd build-release/bench && ./bench_balance --smoke)
+  python3 - build-release/bench/BENCH_balance.json <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["bench"] == "balance", doc
+assert doc["smoke"] is True and doc["ranks"] > 0, doc
+assert doc["all_exact"] is True, "a variant diverged from serial"
+variants = {v["name"]: v for v in doc["variants"]}
+assert set(variants) == {"static-contiguous", "static-binpack", "adaptive"}
+for v in variants.values():
+    assert v["exact"] is True and v["total_imbalance"] >= 1.0, v
+    assert v["per_pass"], f"{v['name']}: no tree passes"
+assert variants["adaptive"]["rebalanced_candidates"] > 0, \
+    "adaptive run never repartitioned"
+assert variants["adaptive"]["balance_sync_words"] > 0, \
+    "adaptive run never paid for feedback"
+for key in ("static-contiguous", "static-binpack"):
+    assert variants[key]["rebalanced_candidates"] == 0, variants[key]
+grids = doc["hd_grid_rows"]
+assert grids["static"] and grids["adaptive"], grids
+print(f"BENCH_balance.json: {len(variants)} variants, "
+      f"{variants['adaptive']['rebalanced_candidates']} candidates "
+      f"repartitioned: ok")
 PYEOF
 }
 
@@ -135,6 +172,7 @@ case "${1:-all}" in
     run_preset release
     run_bench_comm_smoke
     run_bench_serve_smoke
+    run_bench_balance_smoke
     run_traced_smoke
     ;;
   sanitize)
@@ -148,6 +186,7 @@ case "${1:-all}" in
     run_preset release
     run_bench_comm_smoke
     run_bench_serve_smoke
+    run_bench_balance_smoke
     run_traced_smoke
     run_preset sanitize
     run_chaos_sanitized

@@ -42,13 +42,21 @@ void AccumulateShardWork(std::vector<std::uint64_t>& into,
 /// pre-team code path, no strips, no extra allocation.
 class TeamCounter {
  public:
-  /// `pool`, `tree`, `counts`, `stats`, `root_filter` and `cancel` must
-  /// outlive the counter. `stats` may be null (work counters are then not
-  /// collected); `cancel` may be null or point at a null token (no
-  /// cancellation checks — the exact pre-token code path).
+  /// `pool`, `tree`, `counts`, `stats`, `root_filter`, `cancel` and the
+  /// memory behind `item_work` must outlive the counter. `stats` may be
+  /// null (work counters are then not collected); `cancel` may be null or
+  /// point at a null token (no cancellation checks — the exact pre-token
+  /// code path). A non-empty `item_work` span (indexed by item id, caller
+  /// zeroed) turns on work attribution: after Finish() it holds each root
+  /// item's share of the measured subset work, and `leaf_visits` (size
+  /// tree->num_leaves(), caller zeroed, required alongside item_work)
+  /// holds each leaf's distinct-visit count — both merged over shards in
+  /// fixed order (see HashTree::Subset).
   TeamCounter(CountingPool* pool, HashTree* tree, std::span<Count> counts,
               SubsetStats* stats, const Bitmap* root_filter = nullptr,
-              const CancelToken* cancel = nullptr);
+              const CancelToken* cancel = nullptr,
+              std::span<std::uint64_t> item_work = {},
+              std::span<std::uint64_t> leaf_visits = {});
 
   /// Counts transactions [slice.begin, slice.end) of `db`; returns how
   /// many transactions were processed.
@@ -83,11 +91,18 @@ class TeamCounter {
   int team_;
   bool finished_ = false;
 
+  std::span<std::uint64_t> item_work_;
+  std::span<std::uint64_t> leaf_visits_;
+
   // Team-active (team_ > 1) state.
   CounterStrips strips_;
   std::vector<HashTree::Scratch> scratch_;     // one per shard
   std::vector<SubsetStats> shard_stats_;       // one per shard
   std::vector<std::uint64_t> shard_work_;
+  // Per-shard attribution strips (shards 1..T-1; shard 0 writes the
+  // caller spans directly), merged by Finish() in fixed shard order.
+  std::vector<std::vector<std::uint64_t>> shard_item_work_;
+  std::vector<std::vector<std::uint64_t>> shard_leaf_visits_;
   std::vector<ItemSpan> page_tx_;  // reusable page-decode buffer
 };
 

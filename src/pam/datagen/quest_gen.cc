@@ -14,6 +14,19 @@ struct Pattern {
   double corruption = 0.5;
 };
 
+// Uniform item draw, redirected into the hot prefix [0, hot_items) with
+// probability hot_item_mass when the skewed-prefix mode is on. The guard
+// comes first so the RNG stream is untouched when the mode is off —
+// seed-pinned datasets generated before this knob existed stay identical.
+Item DrawItem(const QuestConfig& cfg, Prng& rng) {
+  if (cfg.hot_items > 0 && cfg.hot_item_mass > 0.0 &&
+      rng.NextDouble() < cfg.hot_item_mass) {
+    return static_cast<Item>(
+        rng.NextBounded(std::min(cfg.hot_items, cfg.num_items)));
+  }
+  return static_cast<Item>(rng.NextBounded(cfg.num_items));
+}
+
 // Builds the pool of "maximal potentially frequent" patterns.
 std::vector<Pattern> BuildPatterns(const QuestConfig& cfg, Prng& rng,
                                    std::vector<double>& cumulative_weight) {
@@ -42,7 +55,7 @@ std::vector<Pattern> BuildPatterns(const QuestConfig& cfg, Prng& rng,
       }
     }
     while (scratch.size() < len) {
-      scratch.push_back(static_cast<Item>(rng.NextBounded(cfg.num_items)));
+      scratch.push_back(DrawItem(cfg, rng));
     }
     std::sort(scratch.begin(), scratch.end());
     scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
@@ -136,7 +149,7 @@ TransactionDatabase GenerateQuest(const QuestConfig& cfg) {
       tx.insert(tx.end(), instance.begin(), instance.end());
     }
     if (tx.empty()) {
-      tx.push_back(static_cast<Item>(rng.NextBounded(cfg.num_items)));
+      tx.push_back(DrawItem(cfg, rng));
     }
     db.Add(tx);
   }

@@ -32,6 +32,16 @@ struct QuestConfig {
   /// when instantiating a pattern into a transaction, items are dropped
   /// while a uniform draw stays below the corruption level.
   double corruption_mean = 0.5;
+  /// Skewed-prefix mode (off when hot_items == 0 or hot_item_mass == 0):
+  /// every uniform item draw is redirected into the "hot prefix"
+  /// [0, hot_items) with probability hot_item_mass. Patterns — and hence
+  /// candidates — then pile up on a few first-items, which is exactly the
+  /// workload where a candidate-count partitioner misjudges per-candidate
+  /// cost (the adaptive balancer's target scenario, DESIGN.md §14). When
+  /// off, the generator's random stream is bit-identical to before the
+  /// knob existed.
+  Item hot_items = 0;
+  double hot_item_mass = 0.0;
   /// Seed for the deterministic generator.
   std::uint64_t seed = 1;
 };

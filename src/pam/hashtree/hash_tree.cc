@@ -90,11 +90,20 @@ HashTree::HashTree(const ItemsetCollection& candidates,
       shift_(Log2Pow2(fanout_)),
       leaf_capacity_(config.leaf_capacity),
       k_(candidates.k()),
-      kernel_(config.kernel) {
+      kernel_(config.kernel),
+      identity_root_(config.identity_root) {
   assert(fanout_ >= 2);
   assert(leaf_capacity_ >= 1);
-  nodes_.emplace_back();  // root starts as an empty leaf
-  num_leaves_ = 1;
+  if (identity_root_) {
+    // Root is internal from the start: its children are indexed by first
+    // item value and grown on demand in Insert. num_leaves_ stays 0 until
+    // the first child leaf appears.
+    nodes_.emplace_back();
+    nodes_[0].is_leaf = false;
+  } else {
+    nodes_.emplace_back();  // root starts as an empty leaf
+    num_leaves_ = 1;
+  }
   num_candidates_ = candidate_ids.size();
   for (std::uint32_t id : candidate_ids) Insert(id);
   num_nodes_ = nodes_.size();
@@ -116,9 +125,18 @@ void HashTree::Insert(std::uint32_t candidate_id) {
   std::int32_t node = 0;
   int depth = 0;
   while (!nodes_[static_cast<std::size_t>(node)].is_leaf) {
-    const int bucket = Hash(items[static_cast<std::size_t>(depth)]);
-    std::int32_t& child = nodes_[static_cast<std::size_t>(node)]
-                              .children[static_cast<std::size_t>(bucket)];
+    const Item it = items[static_cast<std::size_t>(depth)];
+    const std::size_t bucket =
+        identity_root_ && depth == 0
+            ? static_cast<std::size_t>(it)
+            : static_cast<std::size_t>(Hash(it));
+    Node& parent = nodes_[static_cast<std::size_t>(node)];
+    if (bucket >= parent.children.size()) {
+      // Only reachable at the identity root, whose children grow with the
+      // largest first item seen; hashed levels are always fanout-sized.
+      parent.children.resize(bucket + 1, -1);
+    }
+    std::int32_t& child = parent.children[bucket];
     if (child < 0) {
       child = static_cast<std::int32_t>(nodes_.size());
       nodes_.emplace_back();
@@ -198,6 +216,16 @@ void HashTree::Freeze() {
   for (std::size_t i = 0; i < n; ++i) {
     const Node& node = nodes_[i];
     if (node.is_leaf) continue;
+    if (identity_root_ && i == 0) {
+      // The identity root's children block has item-indexed width, not
+      // fanout width; it freezes into its own array (its fanout-sized
+      // slot in children_ stays kAbsent and is never read).
+      root_children_.assign(node.children.size(), kAbsent);
+      for (std::size_t b = 0; b < node.children.size(); ++b) {
+        root_children_[b] = encode(node.children[b]);
+      }
+      continue;
+    }
     std::int32_t* block =
         children_.data() +
         (static_cast<std::size_t>(flat_id[i]) << shift_);
@@ -268,46 +296,86 @@ HashTree::Scratch HashTree::MakeScratch() const {
 }
 
 void HashTree::Subset(ItemSpan transaction, std::span<Count> counts,
-                      SubsetStats* stats, const Bitmap* root_filter) {
+                      SubsetStats* stats, const Bitmap* root_filter,
+                      std::span<std::uint64_t> item_work,
+                      std::span<std::uint64_t> leaf_visits) {
   if (kernel_ == HashTreeKernel::kClassic) {
     SubsetClassic(transaction, counts, stats, root_filter);
     return;
   }
-  Subset(transaction, counts, stats, root_filter, scratch_);
+  Subset(transaction, counts, stats, root_filter, scratch_, item_work,
+         leaf_visits);
 }
 
 void HashTree::Subset(ItemSpan transaction, std::span<Count> counts,
                       SubsetStats* stats, const Bitmap* root_filter,
-                      Scratch& scratch) const {
+                      Scratch& scratch, std::span<std::uint64_t> item_work,
+                      std::span<std::uint64_t> leaf_visits) const {
   assert(kernel_ == HashTreeKernel::kFlat &&
          "scratch-based Subset requires the flat kernel");
-  // Hoist the stats / root-filter branches out of the hot loops: pick one
-  // of four specialized instantiations once per transaction.
-  if (stats != nullptr) {
-    if (root_filter != nullptr) {
-      SubsetFlat<true, true>(transaction, counts, stats, root_filter,
-                             scratch);
+  assert((item_work.empty() && leaf_visits.empty()) ||
+         leaf_visits.size() == num_leaves_);
+  // Hoist the stats / root-filter / attribution branches out of the hot
+  // loops: pick one specialized instantiation once per transaction.
+  if (!item_work.empty()) {
+    if (stats != nullptr) {
+      if (root_filter != nullptr) {
+        SubsetFlat<true, true, true>(transaction, counts, stats, root_filter,
+                                     scratch, item_work, leaf_visits);
+      } else {
+        SubsetFlat<true, false, true>(transaction, counts, stats, nullptr,
+                                      scratch, item_work, leaf_visits);
+      }
     } else {
-      SubsetFlat<true, false>(transaction, counts, stats, nullptr, scratch);
+      if (root_filter != nullptr) {
+        SubsetFlat<false, true, true>(transaction, counts, nullptr,
+                                      root_filter, scratch, item_work,
+                                      leaf_visits);
+      } else {
+        SubsetFlat<false, false, true>(transaction, counts, nullptr, nullptr,
+                                       scratch, item_work, leaf_visits);
+      }
+    }
+  } else if (stats != nullptr) {
+    if (root_filter != nullptr) {
+      SubsetFlat<true, true, false>(transaction, counts, stats, root_filter,
+                                    scratch, {}, {});
+    } else {
+      SubsetFlat<true, false, false>(transaction, counts, stats, nullptr,
+                                     scratch, {}, {});
     }
   } else {
     if (root_filter != nullptr) {
-      SubsetFlat<false, true>(transaction, counts, nullptr, root_filter,
-                              scratch);
+      SubsetFlat<false, true, false>(transaction, counts, nullptr,
+                                     root_filter, scratch, {}, {});
     } else {
-      SubsetFlat<false, false>(transaction, counts, nullptr, nullptr,
-                               scratch);
+      SubsetFlat<false, false, false>(transaction, counts, nullptr, nullptr,
+                                      scratch, {}, {});
     }
   }
 }
 
-template <bool WithStats>
-void HashTree::CheckLeafFlat(std::int32_t leaf, std::span<Count> counts,
-                             SubsetStats* stats, Scratch& scratch) const {
+void HashTree::AccumulateCandidateChecks(
+    std::span<const std::uint64_t> leaf_visits,
+    std::span<std::uint64_t> out) const {
+  assert(leaf_visits.size() == num_leaves_);
+  for (std::size_t l = 0; l < num_leaves_; ++l) {
+    const std::uint64_t visits = leaf_visits[l];
+    if (visits == 0) continue;
+    for (std::uint32_t j = leaf_offsets_[l]; j < leaf_offsets_[l + 1]; ++j) {
+      out[leaf_ids_[j]] += visits;
+    }
+  }
+}
+
+template <bool WithStats, bool WithItemWork>
+std::uint32_t HashTree::CheckLeafFlat(
+    std::int32_t leaf, std::span<Count> counts, SubsetStats* stats,
+    Scratch& scratch, std::span<std::uint64_t> leaf_visits) const {
   const std::size_t l = static_cast<std::size_t>(leaf);
   // Distinct-leaf detection: a leaf already visited for this transaction
   // contributes no further checking work (paper Section IV).
-  if (scratch.leaf_epoch[l] == scratch.epoch) return;
+  if (scratch.leaf_epoch[l] == scratch.epoch) return 0;
   scratch.leaf_epoch[l] = scratch.epoch;
   const std::uint32_t begin = leaf_offsets_[l];
   const std::uint32_t end = leaf_offsets_[l + 1];
@@ -315,6 +383,7 @@ void HashTree::CheckLeafFlat(std::int32_t leaf, std::span<Count> counts,
     ++stats->distinct_leaf_visits;
     stats->leaf_candidates_checked += end - begin;
   }
+  if constexpr (WithItemWork) ++leaf_visits[l];
   // Containment via the per-item stamps: every item of the transaction
   // was stamped with the current value on entry, so a candidate is
   // contained iff all k of its items carry the stamp.
@@ -371,12 +440,15 @@ void HashTree::CheckLeafFlat(std::int32_t leaf, std::span<Count> counts,
     if (all) ++counts[leaf_ids_[j]];
   }
 #endif
+  return end - begin;
 }
 
-template <bool WithStats, bool WithFilter>
+template <bool WithStats, bool WithFilter, bool WithItemWork>
 void HashTree::SubsetFlat(ItemSpan transaction, std::span<Count> counts,
                           SubsetStats* stats, const Bitmap* root_filter,
-                          Scratch& scratch) const {
+                          Scratch& scratch,
+                          std::span<std::uint64_t> item_work,
+                          std::span<std::uint64_t> leaf_visits) const {
   assert(counts.size() == candidates_.size());
   if (static_cast<int>(transaction.size()) < k_) {
     if constexpr (WithStats) ++stats->transactions;
@@ -415,42 +487,70 @@ void HashTree::SubsetFlat(ItemSpan transaction, std::span<Count> counts,
       }
     }
     if constexpr (WithStats) ++stats->root_items_considered;
+    // Attribution: all work of the descent starting at position i is
+    // charged to transaction[i], the root item that triggered it. Kept in
+    // a register and flushed once per root entry.
+    [[maybe_unused]] std::uint64_t entry_work = 0;
     if (root_ref_ <= kLeafBase) {
       // Degenerate single-node tree: check once (first viable item) and
       // stop; further starts revisit the same leaf.
-      CheckLeafFlat<WithStats>(kLeafBase - root_ref_, counts, stats, scratch);
+      const std::uint32_t checked = CheckLeafFlat<WithStats, WithItemWork>(
+          kLeafBase - root_ref_, counts, stats, scratch, leaf_visits);
+      if constexpr (WithItemWork) {
+        if (static_cast<std::size_t>(item) < item_work.size()) {
+          item_work[item] += checked;
+        }
+      }
       break;
     }
     if constexpr (WithStats) ++stats->traversal_steps;
+    if constexpr (WithItemWork) ++entry_work;
     const std::int32_t child =
-        children[(static_cast<std::size_t>(root_ref_) << shift_) +
-                 (item & mask_)];
-    if (child == kAbsent) continue;
-    if (child <= kLeafBase) {
-      CheckLeafFlat<WithStats>(kLeafBase - child, counts, stats, scratch);
-      continue;
-    }
-    // Iterative depth-first traversal below the root child; frames resume
-    // the per-node position loop, so the stack never exceeds k entries.
-    std::int32_t depth = 0;
-    frames[0] = Frame{child, static_cast<std::uint32_t>(i + 1)};
-    while (depth >= 0) {
-      Frame& f = frames[depth];
-      if (f.pos >= tx_size) {
-        --depth;
-        continue;
-      }
-      const Item next = transaction[f.pos++];
-      if constexpr (WithStats) ++stats->traversal_steps;
-      const std::int32_t c =
-          children[(static_cast<std::size_t>(f.node) << shift_) +
-                   (next & mask_)];
-      if (c == kAbsent) continue;
-      if (c <= kLeafBase) {
-        CheckLeafFlat<WithStats>(kLeafBase - c, counts, stats, scratch);
+        identity_root_
+            ? (static_cast<std::size_t>(item) < root_children_.size()
+                   ? root_children_[static_cast<std::size_t>(item)]
+                   : kAbsent)
+            : children[(static_cast<std::size_t>(root_ref_) << shift_) +
+                       (item & mask_)];
+    if (child != kAbsent) {
+      if (child <= kLeafBase) {
+        const std::uint32_t checked = CheckLeafFlat<WithStats, WithItemWork>(
+            kLeafBase - child, counts, stats, scratch, leaf_visits);
+        if constexpr (WithItemWork) entry_work += checked;
       } else {
-        const std::uint32_t pos = f.pos;
-        frames[++depth] = Frame{c, pos};
+        // Iterative depth-first traversal below the root child; frames
+        // resume the per-node position loop, so the stack never exceeds k
+        // entries.
+        std::int32_t depth = 0;
+        frames[0] = Frame{child, static_cast<std::uint32_t>(i + 1)};
+        while (depth >= 0) {
+          Frame& f = frames[depth];
+          if (f.pos >= tx_size) {
+            --depth;
+            continue;
+          }
+          const Item next = transaction[f.pos++];
+          if constexpr (WithStats) ++stats->traversal_steps;
+          if constexpr (WithItemWork) ++entry_work;
+          const std::int32_t c =
+              children[(static_cast<std::size_t>(f.node) << shift_) +
+                       (next & mask_)];
+          if (c == kAbsent) continue;
+          if (c <= kLeafBase) {
+            const std::uint32_t checked =
+                CheckLeafFlat<WithStats, WithItemWork>(
+                    kLeafBase - c, counts, stats, scratch, leaf_visits);
+            if constexpr (WithItemWork) entry_work += checked;
+          } else {
+            const std::uint32_t pos = f.pos;
+            frames[++depth] = Frame{c, pos};
+          }
+        }
+      }
+    }
+    if constexpr (WithItemWork) {
+      if (static_cast<std::size_t>(item) < item_work.size()) {
+        item_work[item] += entry_work;
       }
     }
   }
@@ -484,9 +584,11 @@ void HashTree::SubsetClassic(ItemSpan transaction, std::span<Count> counts,
       Visit(0, transaction, i + 1, counts, stats);
       break;
     }
-    const int bucket = Hash(item);
+    const std::size_t bucket =
+        identity_root_ ? static_cast<std::size_t>(item)
+                       : static_cast<std::size_t>(Hash(item));
     const std::int32_t child =
-        root.children[static_cast<std::size_t>(bucket)];
+        bucket < root.children.size() ? root.children[bucket] : kAbsent;
     if (stats) ++stats->traversal_steps;
     if (child >= 0) Visit(child, transaction, i + 1, counts, stats);
   }

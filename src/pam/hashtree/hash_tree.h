@@ -41,6 +41,17 @@ struct HashTreeConfig {
   int leaf_capacity = 16;
   /// Traversal kernel selection (see HashTreeKernel).
   HashTreeKernel kernel = HashTreeKernel::kFlat;
+  /// When true the root level dispatches on the first item's value
+  /// directly (child index == item id, grown on demand) instead of
+  /// hashing it with the fanout mask. Every first item then owns a
+  /// disjoint subtree, which is the paper's IDD picture of the tree — and
+  /// it makes Subset's per-root-item work attribution exact: with a
+  /// hashed root, items sharing a root bucket are charged for each
+  /// other's candidates, so measured densities are partition-dependent
+  /// and useless for rebalancing. The adaptive balancer turns this on;
+  /// deeper levels hash exactly as before, and counts are unaffected
+  /// either way (only tree shape and stats change).
+  bool identity_root = false;
 
   /// The paper's tuning rule: "the desired value of S can be obtained by
   /// adjusting the branching factor". Returns a config whose fanout is
@@ -142,15 +153,38 @@ class HashTree {
   /// `candidates.size()`). If `root_filter` is non-null, transaction items
   /// without their bit set are skipped at the root level — the IDD bitmap
   /// pruning of Figure 8. `stats` may be null.
+  ///
+  /// If `item_work` is non-empty, the kFlat kernel additionally attributes
+  /// its work counters (traversal steps + leaf candidates checked) to the
+  /// root item each descent started from: the work of the subtree entered
+  /// via transaction item f accumulates into item_work[f] (items >= the
+  /// span size are skipped), and each distinct leaf visit increments
+  /// `leaf_visits[leaf id]` (which must then have size num_leaves()).
+  /// Together these are the adaptive balancer's measured load signal
+  /// (DESIGN.md §14): item_work gives exact per-first-item run totals,
+  /// leaf_visits gives the exact per-candidate check counts within a run
+  /// (every candidate of a leaf is checked once per distinct visit). The
+  /// kClassic kernel ignores both.
   void Subset(ItemSpan transaction, std::span<Count> counts,
-              SubsetStats* stats, const Bitmap* root_filter = nullptr);
+              SubsetStats* stats, const Bitmap* root_filter = nullptr,
+              std::span<std::uint64_t> item_work = {},
+              std::span<std::uint64_t> leaf_visits = {});
 
   /// Thread-safe counting against caller-owned scratch (kFlat only): the
   /// tree itself is read-only here, so any number of workers may call this
-  /// concurrently, each with its own Scratch and its own counts strip.
+  /// concurrently, each with its own Scratch, its own counts strip, and
+  /// its own attribution spans (empty to disable attribution).
   void Subset(ItemSpan transaction, std::span<Count> counts,
               SubsetStats* stats, const Bitmap* root_filter,
-              Scratch& scratch) const;
+              Scratch& scratch, std::span<std::uint64_t> item_work = {},
+              std::span<std::uint64_t> leaf_visits = {}) const;
+
+  /// Expands per-leaf distinct-visit counts (as filled by Subset's
+  /// leaf_visits span) into per-candidate check counts: out[candidate id]
+  /// += visits of the candidate's leaf, for every candidate in this tree.
+  /// `out` is indexed by collection candidate id (size candidates.size()).
+  void AccumulateCandidateChecks(std::span<const std::uint64_t> leaf_visits,
+                                 std::span<std::uint64_t> out) const;
 
   /// Fresh zeroed scratch sized for this tree.
   Scratch MakeScratch() const;
@@ -186,13 +220,15 @@ class HashTree {
                      SubsetStats* stats, const Bitmap* root_filter);
   void Visit(std::int32_t node_index, ItemSpan transaction, std::size_t pos,
              std::span<Count> counts, SubsetStats* stats);
-  template <bool WithStats, bool WithFilter>
+  template <bool WithStats, bool WithFilter, bool WithItemWork>
   void SubsetFlat(ItemSpan transaction, std::span<Count> counts,
                   SubsetStats* stats, const Bitmap* root_filter,
-                  Scratch& scratch) const;
-  template <bool WithStats>
-  void CheckLeafFlat(std::int32_t leaf, std::span<Count> counts,
-                     SubsetStats* stats, Scratch& scratch) const;
+                  Scratch& scratch, std::span<std::uint64_t> item_work,
+                  std::span<std::uint64_t> leaf_visits) const;
+  template <bool WithStats, bool WithItemWork>
+  std::uint32_t CheckLeafFlat(std::int32_t leaf, std::span<Count> counts,
+                              SubsetStats* stats, Scratch& scratch,
+                              std::span<std::uint64_t> leaf_visits) const;
 
   int Hash(Item item) const { return static_cast<int>(item & mask_); }
 
@@ -203,6 +239,7 @@ class HashTree {
   const int leaf_capacity_;
   const int k_;
   const HashTreeKernel kernel_;
+  const bool identity_root_;
   std::vector<Node> nodes_;  // cleared after Freeze() under kFlat
   std::size_t num_nodes_ = 0;
   std::size_t num_leaves_ = 0;
@@ -221,6 +258,9 @@ class HashTree {
   // neighbouring candidates — the SIMD lane layout of DESIGN.md §11.
   std::int32_t root_ref_ = kAbsent;
   std::vector<std::int32_t> children_;
+  // identity_root only: encoded root child per first-item value (the
+  // root's children block has item-indexed width, not fanout width).
+  std::vector<std::int32_t> root_children_;
   std::vector<std::uint32_t> leaf_offsets_;
   std::vector<std::uint32_t> leaf_ids_;
   std::vector<Item> leaf_items_;

@@ -45,6 +45,10 @@ std::string PassRowJson(int rank, const PassMetrics& m) {
               &first);
   AppendField(&out, "grid_cols", static_cast<std::uint64_t>(m.grid_cols),
               &first);
+  AppendField(&out, "partition_digest", m.partition_digest, &first);
+  AppendField(&out, "rebalanced_candidates", m.rebalanced_candidates,
+              &first);
+  AppendField(&out, "balance_sync_words", m.balance_sync_words, &first);
   AppendField(&out, "threads_per_rank",
               static_cast<std::uint64_t>(m.threads_per_rank), &first);
   out.append(",\"shard_subset_work\":[");
@@ -99,13 +103,27 @@ std::string JsonMetricsWriter::ToJson() const {
     if (pass > 0) out += ",\n";
     out += "{\"pass\":" + std::to_string(pass) + ",\"per_rank\":[";
     bool first = true;
+    std::vector<std::uint64_t> subset_work;
     for (const auto& [key, row] : rows_) {
       if (key.first != pass) continue;
       if (!first) out += ",\n";
       first = false;
       out += PassRowJson(key.second, row);
+      subset_work.push_back(row.subset.traversal_steps +
+                            row.subset.leaf_candidates_checked);
     }
-    out += "]}";
+    out += "]";
+    // Per-pass load-imbalance summary over the ranks' subset work (the
+    // paper's computation-time imbalance), visible without a bench run.
+    const LoadSummary balance = Summarize(subset_work);
+    char summary[160];
+    std::snprintf(summary, sizeof(summary),
+                  ",\"imbalance\":{\"max\":%.0f,\"mean\":%.3f,"
+                  "\"stddev\":%.3f,\"max_over_mean\":%.4f}",
+                  balance.max, balance.mean, balance.stddev,
+                  balance.imbalance);
+    out += summary;
+    out += "}";
   }
   out += "\n]";
   if (run_ended_) {

@@ -180,6 +180,31 @@ int ChooseGridRows(std::size_t num_candidates, std::size_t threshold_m,
   return num_ranks;
 }
 
+BalanceSync ShareBalanceFeedback(
+    Comm& comm, const PassMetrics& m,
+    std::span<const std::uint64_t> local_item_work) {
+  const int p = comm.size();
+  const std::uint64_t my_work =
+      m.subset.traversal_steps + m.subset.leaf_candidates_checked;
+  std::vector<std::uint64_t> buf(
+      static_cast<std::size_t>(p) + 3 + local_item_work.size(), 0);
+  buf[static_cast<std::size_t>(comm.rank())] = my_work;
+  buf[static_cast<std::size_t>(p)] = m.transactions_processed;
+  buf[static_cast<std::size_t>(p) + 1] = m.subset.traversal_steps;
+  buf[static_cast<std::size_t>(p) + 2] = m.subset.leaf_candidates_checked;
+  std::copy(local_item_work.begin(), local_item_work.end(),
+            buf.begin() + p + 3);
+  comm.AllReduceSum(std::span<std::uint64_t>(buf));
+  BalanceSync out;
+  out.rank_work.assign(buf.begin(), buf.begin() + p);
+  out.item_work.assign(buf.begin() + p + 3, buf.end());
+  out.transactions = buf[static_cast<std::size_t>(p)];
+  out.traversal_steps = buf[static_cast<std::size_t>(p) + 1];
+  out.leaf_checks = buf[static_cast<std::size_t>(p) + 2];
+  out.words = buf.size();
+  return out;
+}
+
 void RecordFaultDelta(const Comm& comm, const CommFaultStats& start,
                       PassMetrics* metrics) {
   if (metrics == nullptr) return;

@@ -38,6 +38,17 @@ struct ParallelConfig {
   /// Split first-items owning more than M/P candidates across parts
   /// (paper's skew refinement).
   bool split_heavy_prefixes = true;
+  /// Feedback-driven load balancing (DESIGN.md §14). IDD re-runs the
+  /// bin-packed candidate partitioner between passes with measured
+  /// per-first-item costs instead of candidate counts (seeded from pass-1
+  /// supports, refined from each pass's per-rank subset work shared via one
+  /// small AllReduceSum); HD additionally chooses its grid rows G per pass
+  /// from the measured compute/comm ratio. Mining output is byte-identical
+  /// to the static mode — the ring delivers the whole database to every
+  /// rank, so global counts don't depend on who owns which candidate. Only
+  /// honored by IDD and HD; requires prefix_strategy == kBinPacked for the
+  /// repartitioning part (the contiguous ablation stays static).
+  bool adaptive_balance = false;
   /// Single-source mode for IDD (paper Section VI: "when all the data is
   /// coming from a database server or a single file system, one processor
   /// can read data from the single source and pass the data along the
@@ -130,6 +141,28 @@ std::uint64_t RingShiftAll(Comm& comm, const std::vector<Page>& local_pages,
 /// >= ceil(M / m) (capped at P).
 int ChooseGridRows(std::size_t num_candidates, std::size_t threshold_m,
                    int num_ranks);
+
+/// Globally-reduced counting feedback for the adaptive balancer: each
+/// rank's measured subset work, the global transaction / traversal /
+/// leaf-check totals, and the globally-summed per-first-item measured
+/// work (`local_item_work`, the kernel's attribution vector compacted by
+/// the caller to the pass's distinct first items — identical layout on
+/// every rank), all identical on every rank after one AllReduceSum of a
+/// (P + 3 + |first items|)-word vector. `words` is that collective's size
+/// (charged to PassMetrics::{reduction_words, balance_sync_words}). Only
+/// deterministic work counters travel — never wall time — so every rank
+/// folds identical feedback into its LoadModel and recomputes identical
+/// decisions, even under (recoverable) transport faults.
+struct BalanceSync {
+  std::vector<std::uint64_t> rank_work;
+  std::vector<std::uint64_t> item_work;  // summed, caller's compact layout
+  std::uint64_t transactions = 0;
+  std::uint64_t traversal_steps = 0;
+  std::uint64_t leaf_checks = 0;
+  std::uint64_t words = 0;
+};
+BalanceSync ShareBalanceFeedback(Comm& comm, const PassMetrics& m,
+                                 std::span<const std::uint64_t> local_item_work);
 
 /// Adds the fault activity since `start` (a snapshot of
 /// comm.MyFaultStats() taken at pass start) to this pass's metrics.

@@ -3,6 +3,7 @@
 #include "pam/core/apriori_gen.h"
 #include "pam/obs/trace.h"
 #include "pam/parallel/algorithms.h"
+#include "pam/parallel/load_model.h"
 #include "pam/util/timer.h"
 
 namespace pam {
@@ -13,6 +14,13 @@ namespace pam {
 // transactions circulate through the IDD ring within each column (step 1),
 // counts are reduced CD-style along rows (step 2), and the frequent subsets
 // are exchanged along columns (step 3).
+//
+// With config.adaptive_balance the per-pass G comes from the LoadModel's
+// measured compute/comm ratio once a tree pass has calibrated it (falling
+// back to the static Table-II heuristic before that), and the row
+// partition uses measured per-first-item weights (DESIGN.md §14). Every
+// input to both decisions is a globally-reduced deterministic counter, so
+// all ranks pick the same grid; output stays byte-identical to static.
 RankOutput RunHdRank(const TransactionDatabase& db, Comm& comm,
                      const ParallelConfig& config) {
   using parallel_internal::ChooseGridRows;
@@ -28,6 +36,15 @@ RankOutput RunHdRank(const TransactionDatabase& db, Comm& comm,
   const Count minsup = config.apriori.ResolveMinsup(db.size());
   std::vector<Count> dhp_buckets;  // PDM-style DHP filter state (optional)
   CountingPool pool(config.apriori.threads_per_rank);
+  const bool adaptive = config.adaptive_balance;
+  const bool adaptive_weights =
+      adaptive && config.prefix_strategy == PrefixStrategy::kBinPacked;
+  LoadModel model(db.NumItems());
+  // The dynamic-G comm term must be identical on every rank: use the
+  // whole database's wire size divided by P, not this rank's slice.
+  const std::uint64_t wire_bytes_per_rank =
+      db.WireBytes(TransactionDatabase::Slice{0, db.size()}) /
+      static_cast<std::uint64_t>(p);
 
   {
     obs::ScopedSpan pass_span(obs::SpanKind::kPass, /*pass_k=*/1, -1,
@@ -65,6 +82,9 @@ RankOutput RunHdRank(const TransactionDatabase& db, Comm& comm,
     m.num_candidates_global = candidates.size();
 
     // Dynamic grid configuration (Table II), unless pinned by the caller.
+    // With adaptive_balance, a calibrated LoadModel overrides the static
+    // threshold heuristic using the measured compute/comm ratio; until the
+    // first hash-tree pass calibrates it, the static choice stands.
     int rows;
     if (config.hd_forced_rows > 0) {
       rows = p;
@@ -76,6 +96,13 @@ RankOutput RunHdRank(const TransactionDatabase& db, Comm& comm,
       }
     } else {
       rows = ChooseGridRows(candidates.size(), config.hd_threshold_m, p);
+      if (adaptive) {
+        rows = model.ChooseGridRows(
+            candidates.size(),
+            static_cast<std::uint64_t>(db.size()) /
+                static_cast<std::uint64_t>(p),
+            wire_bytes_per_rank, p, rows);
+      }
     }
     const int cols = p / rows;
     const int my_row = rank / cols;
@@ -95,9 +122,21 @@ RankOutput RunHdRank(const TransactionDatabase& db, Comm& comm,
         (static_cast<std::uint64_t>(k) << 32) | 0x0000524fULL /* "RO" */);
 
     // Candidate partition among the G rows; identical in every column.
+    // Measured weights kick in once the model is calibrated.
+    const std::vector<std::uint64_t> item_costs =
+        adaptive_weights ? model.ItemCosts(candidates)
+                         : std::vector<std::uint64_t>();
     CandidatePartition partition = PartitionByPrefix(
         candidates, db.NumItems(), rows, config.prefix_strategy,
-        config.split_heavy_prefixes);
+        config.split_heavy_prefixes,
+        item_costs.empty() ? nullptr : &item_costs);
+    m.partition_digest = PartitionDigest(partition);
+    if (!item_costs.empty()) {
+      const CandidatePartition static_partition = PartitionByPrefix(
+          candidates, db.NumItems(), rows, config.prefix_strategy,
+          config.split_heavy_prefixes);
+      m.rebalanced_candidates = PartitionMoves(static_partition, partition);
+    }
     std::vector<std::uint32_t> my_ids =
         partition.ids_per_part[static_cast<std::size_t>(my_row)];
     m.num_candidates_local = my_ids.size();
@@ -113,20 +152,36 @@ RankOutput RunHdRank(const TransactionDatabase& db, Comm& comm,
     std::optional<HashTree> tree;
     std::optional<TeamCounter> tree_team;
     std::vector<Count> counts(candidates.size(), 0);
+    // Kernel-side per-first-item work attribution, the adaptive
+    // balancer's measurement (empty span = attribution off, zero kernel
+    // overhead).
+    std::vector<std::uint64_t> item_work;
+    std::vector<std::uint64_t> leaf_visits;
+    if (adaptive && !triangle) {
+      item_work.assign(static_cast<std::size_t>(db.NumItems()), 0);
+    }
     if (triangle) {
       tri.emplace(prev);
       tri_team.emplace(&pool, &*tri, &m.subset, &config.apriori.cancel);
     } else {
       obs::ScopedSpan build_span(obs::SpanKind::kTreeBuild);
-      tree.emplace(candidates, my_ids, config.apriori.tree);
+      // Identity root dispatch keeps the per-first-item attribution exact
+      // (no co-bucket cross-charging); counts are shape-independent, so
+      // output stays byte-identical to the static hashed-root tree.
+      HashTreeConfig tree_config = config.apriori.tree;
+      tree_config.identity_root = adaptive;
+      tree.emplace(candidates, my_ids, tree_config);
       m.tree_build_inserts = tree->build_inserts();
       build_span.End();
       const Bitmap* filter =
           config.idd_use_bitmap
               ? &partition.first_item_filter[static_cast<std::size_t>(my_row)]
               : nullptr;
+      if (!item_work.empty()) leaf_visits.assign(tree->num_leaves(), 0);
       tree_team.emplace(&pool, &*tree, std::span<Count>(counts), &m.subset,
-                        filter, &config.apriori.cancel);
+                        filter, &config.apriori.cancel,
+                        std::span<std::uint64_t>(item_work),
+                        std::span<std::uint64_t>(leaf_visits));
     }
 
     // Step 1: IDD within the column — each rank sees the G * N/P
@@ -148,6 +203,44 @@ RankOutput RunHdRank(const TransactionDatabase& db, Comm& comm,
     } else {
       tree_team->Finish();
       AccumulateShardWork(m.shard_subset_work, tree_team->shard_work());
+    }
+
+    // Adaptive feedback: reduce the measured per-first-item subset work
+    // over the full grid (each row's items are counted once per column;
+    // the union of the columns' rings covers the whole database exactly
+    // once, so the sums are the items' true global work). Triangle passes
+    // have no hash tree and hence no per-item attribution, so they are
+    // skipped.
+    if (adaptive && !triangle) {
+      LoadModel::PassFeedback feedback;
+      feedback.first_items = LoadModel::DistinctFirstItems(candidates);
+      feedback.item_candidates.assign(feedback.first_items.size(), 0);
+      std::vector<std::uint64_t> compact(feedback.first_items.size(), 0);
+      for (std::size_t i = 0; i < feedback.first_items.size(); ++i) {
+        const auto f = static_cast<std::size_t>(feedback.first_items[i]);
+        compact[i] = item_work[f];
+      }
+      for (std::size_t i = 0, run = 0; i < candidates.size(); ++i) {
+        while (feedback.first_items[run] != candidates.Get(i)[0]) ++run;
+        ++feedback.item_candidates[run];
+      }
+      const parallel_internal::BalanceSync sync =
+          parallel_internal::ShareBalanceFeedback(comm, m, compact);
+      m.balance_sync_words = sync.words;
+      m.reduction_words += sync.words;
+      feedback.part_work.assign(static_cast<std::size_t>(rows), 0);
+      for (int r = 0; r < p; ++r) {
+        feedback.part_work[static_cast<std::size_t>(r / cols)] +=
+            sync.rank_work[static_cast<std::size_t>(r)];
+      }
+      feedback.item_work = sync.item_work;
+      feedback.transactions = sync.transactions;
+      feedback.traversal_steps = sync.traversal_steps;
+      feedback.leaf_checks = sync.leaf_checks;
+      feedback.num_candidates = candidates.size();
+      feedback.grid_rows = rows;
+      feedback.tree_pass = true;
+      model.Observe(feedback);
     }
 
     // Step 2: reduction along the row — every rank of a row holds the same

@@ -3,6 +3,7 @@
 #include "pam/core/apriori_gen.h"
 #include "pam/obs/trace.h"
 #include "pam/parallel/algorithms.h"
+#include "pam/parallel/load_model.h"
 #include "pam/util/timer.h"
 
 namespace pam {
@@ -12,6 +13,14 @@ namespace pam {
 // level of the subset function with a bitmap of its owned first-items
 // (Figure 8), and the database circulates through the ring pipeline of
 // Figure 6 instead of DD's contention-prone all-to-all.
+//
+// With config.adaptive_balance the partitioner's weights come from a
+// LoadModel instead of raw candidate counts: the counting kernel
+// attributes its measured subset work to the root item each descent
+// started from, and one AllReduceSum per pass gives every rank the exact
+// global cost of every first item's candidates (DESIGN.md §14). The ring
+// still delivers every transaction to every rank, so the mining output is
+// byte-identical either way.
 RankOutput RunIddRank(const TransactionDatabase& db, Comm& comm,
                       const ParallelConfig& config) {
   using parallel_internal::ExchangeFrequent;
@@ -33,6 +42,11 @@ RankOutput RunIddRank(const TransactionDatabase& db, Comm& comm,
   const Count minsup = config.apriori.ResolveMinsup(db.size());
   std::vector<Count> dhp_buckets;  // PDM-style DHP filter state (optional)
   CountingPool pool(config.apriori.threads_per_rank);
+  // Measured-weight repartitioning requires the bin-packing strategy; the
+  // contiguous ablation stays static even with the flag on.
+  const bool adaptive = config.adaptive_balance &&
+                        config.prefix_strategy == PrefixStrategy::kBinPacked;
+  LoadModel model(db.NumItems());
 
   {
     obs::ScopedSpan pass_span(obs::SpanKind::kPass, /*pass_k=*/1, -1,
@@ -73,9 +87,23 @@ RankOutput RunIddRank(const TransactionDatabase& db, Comm& comm,
     }
     m.num_candidates_global = candidates.size();
     m.threads_per_rank = pool.num_threads();
+    // Empty until the first measured hash-tree pass calibrates the model:
+    // before that the partition is the static candidate-count one.
+    const std::vector<std::uint64_t> item_costs =
+        adaptive ? model.ItemCosts(candidates) : std::vector<std::uint64_t>();
     CandidatePartition partition = PartitionByPrefix(
         candidates, db.NumItems(), p, config.prefix_strategy,
-        config.split_heavy_prefixes);
+        config.split_heavy_prefixes,
+        item_costs.empty() ? nullptr : &item_costs);
+    m.partition_digest = PartitionDigest(partition);
+    if (!item_costs.empty()) {
+      // Repartition delta vs the static candidate-count packing the pass
+      // would have used without feedback.
+      const CandidatePartition static_partition = PartitionByPrefix(
+          candidates, db.NumItems(), p, config.prefix_strategy,
+          config.split_heavy_prefixes);
+      m.rebalanced_candidates = PartitionMoves(static_partition, partition);
+    }
     std::vector<std::uint32_t> my_ids =
         partition.ids_per_part[static_cast<std::size_t>(rank)];
     m.num_candidates_local = my_ids.size();
@@ -90,20 +118,37 @@ RankOutput RunIddRank(const TransactionDatabase& db, Comm& comm,
     std::optional<HashTree> tree;
     std::optional<TeamCounter> tree_team;
     std::vector<Count> counts(candidates.size(), 0);
+    // Kernel-side per-first-item work attribution, the adaptive
+    // balancer's measurement (empty span = attribution off, zero kernel
+    // overhead).
+    std::vector<std::uint64_t> item_work;
+    std::vector<std::uint64_t> leaf_visits;
+    if (adaptive && !triangle) {
+      item_work.assign(static_cast<std::size_t>(db.NumItems()), 0);
+    }
     if (triangle) {
       tri.emplace(prev);
       tri_team.emplace(&pool, &*tri, &m.subset, &config.apriori.cancel);
     } else {
       obs::ScopedSpan build_span(obs::SpanKind::kTreeBuild);
-      tree.emplace(candidates, my_ids, config.apriori.tree);
+      // Identity root dispatch keeps the per-first-item attribution exact
+      // (no co-bucket cross-charging) and skips false root descents into
+      // unowned subtrees; counts are shape-independent, so output stays
+      // byte-identical to the static hashed-root tree.
+      HashTreeConfig tree_config = config.apriori.tree;
+      tree_config.identity_root = adaptive;
+      tree.emplace(candidates, my_ids, tree_config);
       m.tree_build_inserts = tree->build_inserts();
       build_span.End();
       const Bitmap* filter =
           config.idd_use_bitmap
               ? &partition.first_item_filter[static_cast<std::size_t>(rank)]
               : nullptr;
+      if (!item_work.empty()) leaf_visits.assign(tree->num_leaves(), 0);
       tree_team.emplace(&pool, &*tree, std::span<Count>(counts), &m.subset,
-                        filter, &config.apriori.cancel);
+                        filter, &config.apriori.cancel,
+                        std::span<std::uint64_t>(item_work),
+                        std::span<std::uint64_t>(leaf_visits));
     }
     std::int64_t page_index = 0;
     auto process = [&](PageView page) {
@@ -122,6 +167,39 @@ RankOutput RunIddRank(const TransactionDatabase& db, Comm& comm,
     } else {
       tree_team->Finish();
       AccumulateShardWork(m.shard_subset_work, tree_team->shard_work());
+    }
+
+    // Feed the measured per-first-item subset work back into the model
+    // (one AllReduceSum of P + 3 + |first items| words; every rank folds
+    // identical totals, so the next pass's partition is recomputed
+    // identically with no decision broadcast). Triangle passes have no
+    // hash tree and hence no per-item attribution, so they are skipped.
+    if (adaptive && !triangle) {
+      LoadModel::PassFeedback feedback;
+      feedback.first_items = LoadModel::DistinctFirstItems(candidates);
+      feedback.item_candidates.assign(feedback.first_items.size(), 0);
+      std::vector<std::uint64_t> compact(feedback.first_items.size(), 0);
+      for (std::size_t i = 0; i < feedback.first_items.size(); ++i) {
+        const auto f = static_cast<std::size_t>(feedback.first_items[i]);
+        compact[i] = item_work[f];
+      }
+      for (std::size_t i = 0, run = 0; i < candidates.size(); ++i) {
+        while (feedback.first_items[run] != candidates.Get(i)[0]) ++run;
+        ++feedback.item_candidates[run];
+      }
+      const parallel_internal::BalanceSync sync =
+          parallel_internal::ShareBalanceFeedback(comm, m, compact);
+      m.balance_sync_words = sync.words;
+      m.reduction_words += sync.words;
+      feedback.part_work = sync.rank_work;
+      feedback.item_work = sync.item_work;
+      feedback.transactions = sync.transactions;
+      feedback.traversal_steps = sync.traversal_steps;
+      feedback.leaf_checks = sync.leaf_checks;
+      feedback.num_candidates = candidates.size();
+      feedback.grid_rows = p;
+      feedback.tree_pass = true;
+      model.Observe(feedback);
     }
 
     candidates.counts() = std::move(counts);

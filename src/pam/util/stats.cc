@@ -1,6 +1,7 @@
 #include "pam/util/stats.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace pam {
 
@@ -19,6 +20,9 @@ LoadSummary Summarize(const std::vector<double>& values) {
     s.imbalance = s.max / s.mean;
     s.imbalance_percent = (s.imbalance - 1.0) * 100.0;
   }
+  double sq = 0.0;
+  for (double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(values.size()));
   return s;
 }
 

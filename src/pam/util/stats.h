@@ -18,6 +18,8 @@ struct LoadSummary {
   double imbalance = 1.0;
   /// (max / mean - 1) * 100, the paper's percentage formulation.
   double imbalance_percent = 0.0;
+  /// Population standard deviation; 0.0 when perfectly balanced (or empty).
+  double stddev = 0.0;
 };
 
 /// Computes a LoadSummary over `values`. Empty input yields all zeros with

@@ -128,6 +128,57 @@ TEST(QuestGenTest, PresetsMineDeeperWithLongerPatterns) {
   EXPECT_GT(deep, shallow);
 }
 
+TEST(QuestGenTest, HotPrefixOffIsStreamIdentical) {
+  // The skewed-prefix knob must leave the generator's random stream
+  // untouched when disabled, whichever half of the pair is zero — existing
+  // seeds keep producing bit-identical databases.
+  QuestConfig base;
+  base.num_transactions = 400;
+  base.num_items = 200;
+  base.seed = 31;
+  const TransactionDatabase plain = GenerateQuest(base);
+
+  QuestConfig zero_mass = base;
+  zero_mass.hot_items = 40;
+  zero_mass.hot_item_mass = 0.0;
+  QuestConfig zero_items = base;
+  zero_items.hot_items = 0;
+  zero_items.hot_item_mass = 0.5;
+  for (const QuestConfig& cfg : {zero_mass, zero_items}) {
+    const TransactionDatabase db = GenerateQuest(cfg);
+    EXPECT_EQ(db.items(), plain.items());
+    EXPECT_EQ(db.offsets(), plain.offsets());
+  }
+}
+
+TEST(QuestGenTest, HotPrefixConcentratesMass) {
+  QuestConfig cfg;
+  cfg.num_transactions = 2000;
+  cfg.num_items = 1000;
+  cfg.seed = 31;
+  const auto hot_fraction = [&](Item hot_items, double mass) {
+    QuestConfig c = cfg;
+    c.hot_items = hot_items;
+    c.hot_item_mass = mass;
+    const TransactionDatabase db = GenerateQuest(c);
+    std::size_t hot = 0;
+    std::size_t total = 0;
+    for (std::size_t t = 0; t < db.size(); ++t) {
+      for (Item x : db.Transaction(t)) {
+        total += 1;
+        if (x < hot_items) hot += 1;
+      }
+    }
+    return static_cast<double>(hot) / static_cast<double>(total);
+  };
+  // Uniform draws land in a 40-item prefix of a 1000-item universe ~4% of
+  // the time; redirecting half the draws should concentrate far more.
+  EXPECT_LT(hot_fraction(40, 0.0), 0.20);
+  EXPECT_GT(hot_fraction(40, 0.5), 0.40);
+  // More mass, more concentration.
+  EXPECT_GT(hot_fraction(40, 0.8), hot_fraction(40, 0.4));
+}
+
 TEST(QuestGenTest, TinyItemUniverse) {
   QuestConfig cfg;
   cfg.num_transactions = 100;

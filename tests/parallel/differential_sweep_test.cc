@@ -56,6 +56,9 @@ TEST_P(DifferentialSweep, AllAlgorithmsMatchSerial) {
     cfg.apriori = serial_cfg;
     cfg.page_bytes = page_bytes;
     cfg.hd_threshold_m = 100;  // force HD onto real grids
+    // Adaptive rebalancing must never change mined output: cross it with
+    // everything else (only IDD/HD honor it; the rest must ignore it).
+    cfg.adaptive_balance = rng.NextBounded(2) == 1;
     for (Algorithm alg : {Algorithm::kCD, Algorithm::kDD, Algorithm::kIDD,
                           Algorithm::kHD, Algorithm::kHPA}) {
       const std::string label =
@@ -65,7 +68,8 @@ TEST_P(DifferentialSweep, AllAlgorithmsMatchSerial) {
           " P=" + std::to_string(p) +
           " page=" + std::to_string(page_bytes) + " tri=" +
           (serial_cfg.use_pass2_triangle ? "1" : "0") +
-          " threads=" + std::to_string(serial_cfg.threads_per_rank);
+          " threads=" + std::to_string(serial_cfg.threads_per_rank) +
+          " adaptive=" + (cfg.adaptive_balance ? "1" : "0");
       ParallelResult result = MineParallel(alg, db, p, cfg);
       testing::ExpectMatchesSerial(result, serial_flat, label);
       EXPECT_EQ(result.metrics.TotalFaultsInjected(), 0u) << label;

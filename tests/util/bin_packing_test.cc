@@ -104,5 +104,69 @@ TEST(BinPackingTest, MoreBinsThanElements) {
             7u);
 }
 
+TEST(BinPackingTest, ContiguousMoreBinsThanElements) {
+  BinPackingResult r = PackContiguous({5, 2}, 8);
+  ASSERT_EQ(r.bin_weight.size(), 8u);
+  EXPECT_EQ(std::accumulate(r.bin_weight.begin(), r.bin_weight.end(),
+                            std::uint64_t{0}),
+            7u);
+  // Contiguous assignment stays monotone even with empty bins between.
+  EXPECT_LE(r.bin_of[0], r.bin_of[1]);
+}
+
+TEST(BinPackingTest, AllZeroWeights) {
+  const std::vector<std::uint64_t> zeros(9, 0);
+  for (const BinPackingResult& r :
+       {PackBins(zeros, 3), PackContiguous(zeros, 3)}) {
+    ASSERT_EQ(r.bin_of.size(), 9u);
+    for (int b : r.bin_of) {
+      EXPECT_GE(b, 0);
+      EXPECT_LT(b, 3);
+    }
+    for (std::uint64_t w : r.bin_weight) EXPECT_EQ(w, 0u);
+    // Zero total weight is defined as perfectly balanced, not a division
+    // by zero.
+    EXPECT_DOUBLE_EQ(r.Imbalance(), 1.0);
+  }
+}
+
+TEST(BinPackingTest, TieBreakDeterminismOnEqualWeights) {
+  // LPT with all-equal weights: elements are taken in index order and the
+  // lightest-bin tie breaks by bin index, so the assignment is the exact
+  // round-robin cycle — pinned here so packer refactors can't silently
+  // change partition digests.
+  const std::vector<std::uint64_t> weights(10, 4);
+  BinPackingResult r = PackBins(weights, 3);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_EQ(r.bin_of[i], static_cast<int>(i % 3)) << "element " << i;
+  }
+}
+
+TEST(BinPackingTest, ImbalanceInvariants) {
+  // Imbalance() is max/mean over bins: always >= 1.0, exactly 1.0 only
+  // when every bin weighs the same. Randomized over both packers.
+  Prng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::uint64_t> weights(1 + rng.NextBounded(50));
+    for (auto& w : weights) w = rng.NextBounded(20);  // zeros included
+    const int bins = 1 + static_cast<int>(rng.NextBounded(8));
+    for (const BinPackingResult& r :
+         {PackBins(weights, bins), PackContiguous(weights, bins)}) {
+      const double imb = r.Imbalance();
+      EXPECT_GE(imb, 1.0);
+      const std::uint64_t max =
+          *std::max_element(r.bin_weight.begin(), r.bin_weight.end());
+      const std::uint64_t min =
+          *std::min_element(r.bin_weight.begin(), r.bin_weight.end());
+      if (max == min) {
+        EXPECT_DOUBLE_EQ(imb, 1.0);
+      }
+      if (imb == 1.0) {
+        EXPECT_EQ(max, min);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pam

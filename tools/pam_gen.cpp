@@ -25,6 +25,10 @@ constexpr const char* kUsage = R"(usage: pam_gen [flags]
   --patterns L       size of the pattern pool (default 2000)
   --correlation C    cross-pattern correlation (default 0.5)
   --corruption C     mean corruption level (default 0.5)
+  --hot-items H      skewed-prefix mode: size of the hot item prefix
+                     (default 0 = off)
+  --hot-mass F       probability an item draw lands in the hot prefix
+                     (default 0; needs --hot-items)
   --seed S           PRNG seed (default 1)
   --output PATH      output file (required)
   --text             write the text format instead of binary
@@ -41,7 +45,8 @@ int main(int argc, char** argv) {
   const std::vector<std::string> known = {
       "transactions", "items",       "avg-len",    "pattern-len",
       "patterns",     "correlation", "corruption", "seed",
-      "output",       "text",        "help"};
+      "output",       "text",        "help",       "hot-items",
+      "hot-mass"};
   for (const std::string& f : flags.UnknownFlags(known)) {
     std::fprintf(stderr, "error: unknown flag --%s\n%s", f.c_str(), kUsage);
     return 2;
@@ -61,6 +66,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.GetInt("patterns", 2000));
   config.correlation = flags.GetDouble("correlation", 0.5);
   config.corruption_mean = flags.GetDouble("corruption", 0.5);
+  config.hot_items = static_cast<pam::Item>(flags.GetInt("hot-items", 0));
+  config.hot_item_mass = flags.GetDouble("hot-mass", 0.0);
   config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
 
   pam::WallTimer timer;

@@ -38,6 +38,9 @@ constexpr const char* kUsage = R"(usage: pam_mine [flags]
                      intra-rank counting team size (default 1 = serial
                      counting; results are identical for every T)
   --hd-threshold M   HD candidate threshold m (default 50000)
+  --adaptive-balance rebalance IDD's candidate partition between passes
+                     from measured per-rank work and pick HD's G from the
+                     measured compute/comm ratio (results are identical)
   --max-k K          stop after pass K (default: run to completion)
   --rules            also generate association rules
   --top N            print at most N itemsets/rules (default 20)
@@ -109,7 +112,7 @@ int main(int argc, char** argv) {
       "machine", "explain", "stats",   "maximal",       "save-itemsets",
       "dhp",     "help",    "fault-kind", "fault-rate",  "fault-seed",
       "fault-retries", "fault-timeout", "trace-out", "metrics-out",
-      "threads-per-rank"};
+      "threads-per-rank", "adaptive-balance"};
   for (const std::string& f : flags.UnknownFlags(known)) {
     std::fprintf(stderr, "error: unknown flag --%s\n%s", f.c_str(), kUsage);
     return 2;
@@ -140,6 +143,7 @@ int main(int argc, char** argv) {
   config.apriori.max_k = static_cast<int>(flags.GetInt("max-k", 0));
   config.hd_threshold_m =
       static_cast<std::size_t>(flags.GetInt("hd-threshold", 50000));
+  config.adaptive_balance = flags.GetBool("adaptive-balance", false);
   config.apriori.dhp_buckets =
       static_cast<std::size_t>(flags.GetInt("dhp", 0));
   config.apriori.threads_per_rank =
