@@ -16,7 +16,9 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <future>
 #include <map>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -367,6 +369,146 @@ int main(int argc, char** argv) {
       survivors.size(), surv_p95, surv_p99,
       static_cast<unsigned long long>(dl_stats.expired_in_queue));
 
+  // Result cache, hot vs cold (DESIGN.md §15): the same mix driven twice
+  // through a cache-enabled server. The first pass mines (4 of the 8 mix
+  // cells are distinct mining problems once the canonical digest strips
+  // the formulation knobs — the other 4 hit immediately); the second pass
+  // is all hits. A hit must be byte-identical to the solo reference and
+  // lease zero ranks, and the latency gap is the point of the feature.
+  ServerConfig rc_config;
+  rc_config.pool_ranks = 8;
+  rc_config.workers = 4;
+  rc_config.max_queue = 256;
+  rc_config.result_cache = true;
+  MiningServer rc_server(rc_config);
+  rc_server.datasets().RegisterLoaded("retail",
+                                      pam::TransactionDatabase(retail));
+  rc_server.datasets().RegisterLoaded("web", pam::TransactionDatabase(web));
+  std::vector<double> rc_miss_lat, rc_hit_lat;
+  const std::uint64_t rc_leases_before = rc_server.pool().LeasesGranted();
+  std::uint64_t rc_leases_after_cold = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const MixCell& cell : kMix) {
+      const auto start = std::chrono::steady_clock::now();
+      ServeResponse response = rc_server.Execute(RequestOf(cell));
+      const auto end = std::chrono::steady_clock::now();
+      const double lat =
+          std::chrono::duration<double>(end - start).count();
+      if (!response.ok()) {
+        std::printf("UNEXPECTED result-cache response: %s (%s)\n",
+                    pam::serve::ServeStatusName(response.status),
+                    response.error.c_str());
+        mismatch = true;
+        continue;
+      }
+      (response.from_result_cache ? rc_hit_lat : rc_miss_lat).push_back(lat);
+      if (pass == 1 && !response.from_result_cache) {
+        std::printf("MISMATCH: second-pass request missed the result cache "
+                    "(%s/%s)\n",
+                    cell.tenant,
+                    pam::MiningAlgorithmName(cell.algorithm).c_str());
+        mismatch = true;
+      }
+      // Hits must be byte-identical to the solo reference, like misses.
+      std::map<std::vector<pam::Item>, pam::Count> flat;
+      for (const auto& level : response.report.frequent.levels) {
+        for (std::size_t s = 0; s < level.size(); ++s) {
+          pam::ItemSpan span = level.Get(s);
+          flat[std::vector<pam::Item>(span.begin(), span.end())] =
+              level.count(s);
+        }
+      }
+      if (flat != references[&cell]) {
+        std::printf("MISMATCH: result-cache response != solo run (%s/%s)\n",
+                    cell.tenant,
+                    pam::MiningAlgorithmName(cell.algorithm).c_str());
+        mismatch = true;
+      }
+    }
+    if (pass == 0) rc_leases_after_cold = rc_server.pool().LeasesGranted();
+  }
+  const std::uint64_t rc_hot_leases =
+      rc_server.pool().LeasesGranted() - rc_leases_after_cold;
+  const ServerStats rc_stats = rc_server.Stats();
+  rc_server.Shutdown();
+  if (rc_hot_leases != 0) {
+    std::printf("MISMATCH: hot pass leased %llu ranks (want 0)\n",
+                static_cast<unsigned long long>(rc_hot_leases));
+    mismatch = true;
+  }
+  std::sort(rc_miss_lat.begin(), rc_miss_lat.end());
+  std::sort(rc_hit_lat.begin(), rc_hit_lat.end());
+  const double rc_cold_p50 = PercentileMs(rc_miss_lat, 0.50);
+  const double rc_hot_p50 = PercentileMs(rc_hit_lat, 0.50);
+  std::printf(
+      "result cache: %zu mined (p50 %.2fms) vs %zu hits (p50 %.3fms), "
+      "%.0fx hot-path latency drop, %llu bytes resident, 0 hot leases "
+      "(leases: %llu cold)\n",
+      rc_miss_lat.size(), rc_cold_p50, rc_hit_lat.size(), rc_hot_p50,
+      rc_hot_p50 > 0.0 ? rc_cold_p50 / rc_hot_p50 : 0.0,
+      static_cast<unsigned long long>(rc_stats.result_resident_bytes),
+      static_cast<unsigned long long>(rc_leases_after_cold -
+                                      rc_leases_before));
+
+  // Weighted fairness (DESIGN.md §15): a weight-3 and a weight-1 tenant
+  // flood a one-worker server with equal-cost jobs; SFQ must hand the
+  // heavy tenant ~3x the completions in any saturated window. A slow
+  // primer job holds the worker while both backlogs queue, making the
+  // dispatch order deterministic.
+  ServerConfig wf_config;
+  wf_config.pool_ranks = 4;
+  wf_config.workers = 1;
+  wf_config.max_queue = 256;
+  wf_config.tenant_quotas["heavy"].weight = 3.0;
+  wf_config.tenant_quotas["light"].weight = 1.0;
+  MiningServer wf_server(wf_config);
+  wf_server.datasets().RegisterLoaded("retail",
+                                      pam::TransactionDatabase(retail));
+  wf_server.datasets().RegisterLoaded("web", pam::TransactionDatabase(web));
+  std::future<ServeResponse> wf_primer =
+      wf_server.Submit(RequestOf(kMix[1]));  // CD/4: long enough to queue behind
+  std::mutex wf_mu;
+  std::vector<std::string> wf_order;
+  const int wf_jobs_per_tenant = smoke ? 8 : 16;
+  for (int i = 0; i < wf_jobs_per_tenant; ++i) {
+    for (const char* tenant : {"heavy", "light"}) {
+      MiningRequest request;
+      request.tenant = tenant;
+      request.dataset = "web";
+      request.algorithm = MiningAlgorithm::kSerial;
+      request.num_ranks = 1;
+      request.config.apriori.minsup_fraction = 0.03;
+      wf_server.SubmitWith(std::move(request),
+                           [&wf_mu, &wf_order, tenant](ServeResponse r) {
+                             if (!r.ok()) return;
+                             std::lock_guard<std::mutex> lock(wf_mu);
+                             wf_order.emplace_back(tenant);
+                           });
+    }
+  }
+  wf_primer.get();
+  wf_server.Shutdown();
+  const std::size_t wf_window =
+      std::min<std::size_t>(8, wf_order.size());
+  const auto wf_heavy_in_window = static_cast<std::size_t>(std::count(
+      wf_order.begin(), wf_order.begin() + static_cast<std::ptrdiff_t>(wf_window),
+      "heavy"));
+  const std::size_t wf_light_in_window = wf_window - wf_heavy_in_window;
+  const double wf_ratio =
+      wf_light_in_window > 0
+          ? static_cast<double>(wf_heavy_in_window) / wf_light_in_window
+          : static_cast<double>(wf_heavy_in_window);
+  std::printf(
+      "weighted fairness: 3:1 weights, first %zu completions split "
+      "%zu/%zu (ratio %.1f), %zu jobs per tenant all served\n",
+      wf_window, wf_heavy_in_window, wf_light_in_window, wf_ratio,
+      wf_order.size() / 2);
+  if (wf_order.size() != 2 * static_cast<std::size_t>(wf_jobs_per_tenant)) {
+    std::printf("MISMATCH: weighted-fairness jobs lost (%zu of %d)\n",
+                wf_order.size(), 2 * wf_jobs_per_tenant);
+    mismatch = true;
+  }
+
   std::FILE* f = std::fopen("BENCH_serve.json", "w");
   if (f != nullptr) {
     std::fprintf(f,
@@ -405,10 +547,27 @@ int main(int argc, char** argv) {
         "  \"deadline_mix\": {\"requests\": %d, \"tight_fraction\": %.2f, "
         "\"deadline_ms\": 30.0, \"tight_requests\": %d, \"shed_rate\": "
         "%.3f, \"expired_in_queue\": %llu, \"survivors\": %zu, "
-        "\"survivor_p95_ms\": %.3f, \"survivor_p99_ms\": %.3f}\n}\n",
+        "\"survivor_p95_ms\": %.3f, \"survivor_p99_ms\": %.3f},\n",
         dl_clients * dl_iters, 1.0 / kTightEvery, tight_total.load(),
         shed_rate, static_cast<unsigned long long>(dl_stats.expired_in_queue),
         survivors.size(), surv_p95, surv_p99);
+    std::fprintf(
+        f,
+        "  \"result_cache\": {\"mined\": %zu, \"hits\": %zu, "
+        "\"cold_p50_ms\": %.3f, \"hot_p50_ms\": %.4f, \"speedup\": %.1f, "
+        "\"hot_leases\": %llu, \"resident_bytes\": %llu},\n",
+        rc_miss_lat.size(), rc_hit_lat.size(), rc_cold_p50, rc_hot_p50,
+        rc_hot_p50 > 0.0 ? rc_cold_p50 / rc_hot_p50 : 0.0,
+        static_cast<unsigned long long>(rc_hot_leases),
+        static_cast<unsigned long long>(rc_stats.result_resident_bytes));
+    std::fprintf(
+        f,
+        "  \"weighted_fairness\": {\"heavy_weight\": 3.0, "
+        "\"light_weight\": 1.0, \"jobs_per_tenant\": %d, \"window\": %zu, "
+        "\"heavy_in_window\": %zu, \"light_in_window\": %zu, "
+        "\"ratio\": %.2f}\n}\n",
+        wf_jobs_per_tenant, wf_window, wf_heavy_in_window,
+        wf_light_in_window, wf_ratio);
     std::fclose(f);
     std::printf("wrote BENCH_serve.json\n");
   }

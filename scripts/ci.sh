@@ -90,10 +90,60 @@ assert dl["tight_requests"] > 0 and 0 < dl["tight_fraction"] <= 1, dl
 assert 0 <= dl["shed_rate"] <= 1, dl
 assert dl["survivors"] > 0, "deadline mix starved the well-behaved load"
 assert 0 < dl["survivor_p95_ms"] <= dl["survivor_p99_ms"], dl
+rc = doc["result_cache"]
+assert rc["mined"] > 0 and rc["hits"] > 0, rc
+assert rc["hot_leases"] == 0, "result-cache hits leased ranks"
+assert rc["resident_bytes"] > 0, rc
+assert 0 < rc["hot_p50_ms"] <= rc["cold_p50_ms"], \
+    "cache hits were not faster than mining"
+wf = doc["weighted_fairness"]
+assert wf["heavy_weight"] == 3.0 and wf["light_weight"] == 1.0, wf
+assert wf["heavy_in_window"] + wf["light_in_window"] == wf["window"], wf
+assert wf["ratio"] >= 2.0, \
+    f"3:1-weighted tenant got only {wf['ratio']}x the share"
 print(f"BENCH_serve.json: {len(sections)} sections, "
       f"{over['queue_full']} queue-full rejections, "
-      f"deadline shed rate {dl['shed_rate']:.2f}: ok")
+      f"deadline shed rate {dl['shed_rate']:.2f}, "
+      f"cache speedup {rc['speedup']:.0f}x, "
+      f"fairness ratio {wf['ratio']:.1f}: ok")
 PYEOF
+}
+
+# Loopback smoke of the networked front-end (DESIGN.md §15): pam_serve in
+# --listen mode on an ephemeral port, driven by pam_client over TCP with
+# every algorithm in the mix plus a stats poll, then a remote shutdown.
+# Checks both exit codes: the client's (all responses ok) and the
+# daemon's (clean drain on the shutdown frame).
+run_serve_net_smoke() {
+  echo "=== pam_serve --listen / pam_client loopback smoke ==="
+  local tools="build-release/tools"
+  local scratch="build-release/serve_net_smoke"
+  mkdir -p "$scratch"
+  "$tools/pam_gen" --transactions 800 --items 100 --avg-len 8 \
+    --pattern-len 3 --patterns 40 --seed 7 --output "$scratch/smoke.bin"
+  cat > "$scratch/requests.txt" <<'EOF'
+mine id=r1 tenant=acme dataset=smoke algorithm=serial minsup=2
+mine id=r2 tenant=acme dataset=smoke algorithm=cd ranks=4 minsup=2
+mine id=r3 tenant=beta dataset=smoke algorithm=dd ranks=3 minsup=2
+mine id=r4 tenant=beta dataset=smoke algorithm=idd ranks=4 minsup=2
+mine id=r5 tenant=gamma dataset=smoke algorithm=hd ranks=4 minsup=2
+mine id=r6 tenant=gamma dataset=smoke algorithm=hpa ranks=3 minsup=2 rules
+stats
+shutdown
+EOF
+  rm -f "$scratch/port"
+  "$tools/pam_serve" --datasets "smoke=$scratch/smoke.bin" --listen \
+    --port-file "$scratch/port" --allow-shutdown --result-cache &
+  local server_pid=$!
+  for _ in $(seq 1 100); do
+    [ -s "$scratch/port" ] && break
+    sleep 0.1
+  done
+  [ -s "$scratch/port" ] || { echo "server never wrote its port"; exit 1; }
+  "$tools/pam_client" --port-file "$scratch/port" \
+    --script "$scratch/requests.txt"
+  wait "$server_pid"
+  echo "loopback smoke: client and daemon both exited clean"
 }
 
 # Smoke pass of the load-balancing benchmark: static vs adaptive IDD on a
@@ -174,6 +224,7 @@ case "${1:-all}" in
     run_bench_serve_smoke
     run_bench_balance_smoke
     run_traced_smoke
+    run_serve_net_smoke
     ;;
   sanitize)
     run_preset sanitize
@@ -188,6 +239,7 @@ case "${1:-all}" in
     run_bench_serve_smoke
     run_bench_balance_smoke
     run_traced_smoke
+    run_serve_net_smoke
     run_preset sanitize
     run_chaos_sanitized
     run_tsan

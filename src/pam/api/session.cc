@@ -1,5 +1,6 @@
 #include "pam/api/session.h"
 
+#include <cstring>
 #include <utility>
 
 #include "pam/util/timer.h"
@@ -92,6 +93,44 @@ MiningAlgorithm FromParallelAlgorithm(Algorithm algorithm) {
       return MiningAlgorithm::kHPA;
   }
   return MiningAlgorithm::kCD;
+}
+
+std::uint64_t MiningRequest::CanonicalDigest() const {
+  // FNV-1a over a tagged, fixed-order field sequence. Tags keep distinct
+  // fields from aliasing (e.g. max_k=2 vs min_confidence bits); fields at
+  // their don't-care values are folded at a canonical spelling so
+  // default-vs-explicit requests collide.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto fold = [&h](std::uint64_t word) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (word >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  const auto fold_f64 = [&fold](double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    fold(bits);
+  };
+  fold(1);  // digest layout version
+  const AprioriConfig& apriori = config.apriori;
+  if (apriori.minsup_count > 0) {
+    // An explicit absolute threshold wins over the fraction (exactly the
+    // ResolveMinsup precedence), so the fraction is a don't-care.
+    fold(2);
+    fold(apriori.minsup_count);
+  } else {
+    fold(3);
+    fold_f64(apriori.minsup_fraction);
+  }
+  fold(4);
+  fold(static_cast<std::uint64_t>(apriori.max_k));
+  if (generate_rules) {
+    // min_confidence only matters when rules are generated at all.
+    fold(5);
+    fold_f64(min_confidence);
+  }
+  return h;
 }
 
 void MiningSession::AddTraceSink(obs::TraceSink* sink) {

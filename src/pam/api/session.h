@@ -1,6 +1,7 @@
 #ifndef PAM_API_SESSION_H_
 #define PAM_API_SESSION_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,18 @@ struct MiningRequest {
   /// deadline_ms (whichever fires first wins). Invalid (default) means the
   /// session creates one internally only if deadline_ms > 0.
   CancelToken cancel;
+
+  /// Digest of the *result-affecting* configuration, normalized so that
+  /// equivalent requests hash equal regardless of how they were spelled:
+  /// only fields that change the mined output contribute (minsup — the
+  /// explicit count when set, else the fraction — max_k, and the rule
+  /// knobs when generate_rules is on). Algorithm choice, rank/thread
+  /// counts, tree shape, page sizes, and balancing flags are performance
+  /// knobs — every formulation produces byte-identical results (the
+  /// library's exactness contract) — so a serial and an 8-rank HD run of
+  /// the same mining problem share a digest. Keyed with the dataset id,
+  /// this is the result-cache key (pam/serve/result_cache.h).
+  std::uint64_t CanonicalDigest() const;
 };
 
 /// Everything a mining run produces.

@@ -52,6 +52,9 @@ enum class SpanKind : std::uint8_t {
   /// memory budget (detail = "budget", "ttl", or "uncacheable" when a
   /// dataset larger than the whole budget is served load-through).
   kCacheEvict,
+  /// Instant: a served request was answered from the result cache — no
+  /// dataset touch, no rank lease (detail = the dataset id).
+  kResultCacheHit,
 };
 
 /// Stable lowercase name ("run", "pass", "ring_round", ...), used as the

@@ -39,6 +39,8 @@ const char* SpanKindName(SpanKind kind) {
       return "cancel";
     case SpanKind::kCacheEvict:
       return "cache_evict";
+    case SpanKind::kResultCacheHit:
+      return "result_cache_hit";
   }
   return "?";
 }

@@ -1,0 +1,673 @@
+#include "pam/serve/protocol.h"
+
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+namespace pam::serve {
+namespace {
+
+// --- little-endian primitive writer / reader over std::byte buffers.
+
+class Writer {
+ public:
+  void U8(std::uint8_t v) { out_.push_back(static_cast<std::byte>(v)); }
+  void U16(std::uint16_t v) {
+    U8(static_cast<std::uint8_t>(v));
+    U8(static_cast<std::uint8_t>(v >> 8));
+  }
+  void U32(std::uint32_t v) {
+    U16(static_cast<std::uint16_t>(v));
+    U16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void U64(std::uint64_t v) {
+    U32(static_cast<std::uint32_t>(v));
+    U32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void F64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    U64(bits);
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    const auto* p = reinterpret_cast<const std::byte*>(s.data());
+    out_.insert(out_.end(), p, p + s.size());
+  }
+  void Items(const std::vector<Item>& items) {
+    U32(static_cast<std::uint32_t>(items.size()));
+    for (Item item : items) U32(item);
+  }
+
+  std::vector<std::byte>& bytes() { return out_; }
+
+ private:
+  std::vector<std::byte> out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+
+  std::uint8_t U8() {
+    if (!Need(1)) return 0;
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint16_t U16() {
+    const std::uint16_t lo = U8();
+    return static_cast<std::uint16_t>(lo | (std::uint16_t{U8()} << 8));
+  }
+  std::uint32_t U32() {
+    const std::uint32_t lo = U16();
+    return lo | (std::uint32_t{U16()} << 16);
+  }
+  std::uint64_t U64() {
+    const std::uint64_t lo = U32();
+    return lo | (std::uint64_t{U32()} << 32);
+  }
+  double F64() {
+    const std::uint64_t bits = U64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string Str() {
+    const std::uint32_t n = U32();
+    if (!Need(n)) return {};
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  std::vector<Item> Items() {
+    const std::uint32_t n = U32();
+    // Bound the reserve by what the buffer could actually hold so a
+    // corrupt length cannot force a huge allocation before Need() fails.
+    if (!Need(static_cast<std::size_t>(n) * 4)) return {};
+    std::vector<Item> items;
+    items.reserve(n);
+    for (std::uint32_t i = 0; i < n && ok_; ++i) items.push_back(U32());
+    return items;
+  }
+
+  bool Need(std::size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  /// True iff nothing failed and every byte was consumed.
+  bool Done() const { return ok_ && pos_ == data_.size(); }
+  bool ok() const { return ok_; }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+std::vector<std::byte> Finish(FrameType type, Writer&& body) {
+  Writer frame;
+  frame.U32(static_cast<std::uint32_t>(body.bytes().size()));
+  frame.U8(static_cast<std::uint8_t>(type));
+  frame.bytes().insert(frame.bytes().end(), body.bytes().begin(),
+                       body.bytes().end());
+  return std::move(frame.bytes());
+}
+
+Status Malformed(const char* what) {
+  return Status::Error(std::string("malformed ") + what + " frame");
+}
+
+}  // namespace
+
+bool IsClientFrame(FrameType type) {
+  switch (type) {
+    case FrameType::kMine:
+    case FrameType::kCancel:
+    case FrameType::kStats:
+    case FrameType::kShutdown:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* WireErrorName(WireError error) {
+  switch (error) {
+    case WireError::kVersionMismatch: return "version_mismatch";
+    case WireError::kMalformedFrame: return "malformed_frame";
+    case WireError::kFrameTooLarge: return "frame_too_large";
+    case WireError::kUnexpectedFrame: return "unexpected_frame";
+    case WireError::kDuplicateTag: return "duplicate_tag";
+    case WireError::kUnknownTag: return "unknown_tag";
+    case WireError::kShutdownForbidden: return "shutdown_forbidden";
+  }
+  return "unknown";
+}
+
+bool WireErrorClosesConnection(WireError error) {
+  switch (error) {
+    case WireError::kDuplicateTag:
+    case WireError::kUnknownTag:
+    case WireError::kShutdownForbidden:
+      return false;  // the request is refused; the stream is still framed
+    default:
+      return true;
+  }
+}
+
+// --- encoders -------------------------------------------------------------
+
+std::vector<std::byte> EncodeHello(const HelloFrame& hello) {
+  Writer w;
+  w.U32(kProtocolMagic);
+  w.U16(hello.min_version);
+  w.U16(hello.max_version);
+  return Finish(FrameType::kHello, std::move(w));
+}
+
+std::vector<std::byte> EncodeHelloAck(const HelloAckFrame& ack) {
+  Writer w;
+  w.U16(static_cast<std::uint16_t>(ack.version));
+  w.Str(ack.server);
+  return Finish(FrameType::kHelloAck, std::move(w));
+}
+
+std::vector<std::byte> EncodeMine(const MineFrame& mine) {
+  Writer w;
+  w.U64(mine.tag);
+  w.Str(mine.request.tenant);
+  w.Str(mine.request.dataset);
+  w.U8(static_cast<std::uint8_t>(mine.request.algorithm));
+  w.U32(static_cast<std::uint32_t>(mine.request.num_ranks));
+  w.U64(mine.request.config.apriori.minsup_count);
+  w.F64(mine.request.config.apriori.minsup_fraction);
+  w.U32(static_cast<std::uint32_t>(mine.request.config.apriori.max_k));
+  w.U32(static_cast<std::uint32_t>(
+      mine.request.config.apriori.threads_per_rank));
+  w.U8(mine.request.generate_rules ? 1 : 0);
+  w.F64(mine.request.min_confidence);
+  w.F64(mine.request.deadline_ms);
+  return Finish(FrameType::kMine, std::move(w));
+}
+
+std::vector<std::byte> EncodeCancel(const CancelFrame& cancel) {
+  Writer w;
+  w.U64(cancel.tag);
+  return Finish(FrameType::kCancel, std::move(w));
+}
+
+std::vector<std::byte> EncodeStats(const StatsFrame& stats) {
+  Writer w;
+  w.U64(stats.tag);
+  return Finish(FrameType::kStats, std::move(w));
+}
+
+std::vector<std::byte> EncodeResponse(const ResponseFrame& response) {
+  Writer w;
+  w.U64(response.tag);
+  w.U8(static_cast<std::uint8_t>(response.status));
+  w.Str(response.error);
+  w.F64(response.queue_seconds);
+  w.F64(response.service_seconds);
+  w.U8(response.from_result_cache ? 1 : 0);
+  w.U64(response.minsup_count);
+  w.U32(static_cast<std::uint32_t>(response.frequent.levels.size()));
+  for (const ItemsetCollection& level : response.frequent.levels) {
+    w.U32(static_cast<std::uint32_t>(level.k()));
+    w.U64(level.size());
+    for (std::size_t i = 0; i < level.size(); ++i)
+      for (Item item : level.Get(i)) w.U32(item);
+    for (std::size_t i = 0; i < level.size(); ++i) w.U64(level.count(i));
+  }
+  w.U64(response.rules.size());
+  for (const Rule& rule : response.rules) {
+    w.Items(rule.antecedent);
+    w.Items(rule.consequent);
+    w.U64(rule.joint_count);
+    w.F64(rule.support);
+    w.F64(rule.confidence);
+  }
+  return Finish(FrameType::kResponse, std::move(w));
+}
+
+std::vector<std::byte> EncodeStatsResponse(const StatsResponseFrame& frame) {
+  const ServerStats& s = frame.stats;
+  Writer w;
+  w.U64(frame.tag);
+  w.U64(s.submitted);
+  w.U64(s.admitted);
+  w.U64(s.completed);
+  w.U64(s.mining_faults);
+  w.U64(s.cancelled);
+  w.U64(s.deadline_exceeded);
+  w.U64(s.expired_in_queue);
+  w.U64(s.watchdog_fired);
+  w.U64(s.rejected_queue_full);
+  w.U64(s.rejected_tenant_in_flight);
+  w.U64(s.rejected_tenant_budget);
+  w.U64(s.rejected_unknown_dataset);
+  w.U64(s.rejected_invalid);
+  w.U64(s.rejected_shutdown);
+  w.U64(s.cache_hits);
+  w.U64(s.cache_misses);
+  w.U64(s.cache_evictions);
+  w.U64(s.result_hits);
+  w.U64(s.result_misses);
+  w.U64(s.result_evictions);
+  w.U64(s.cache_resident_bytes);
+  w.U64(s.result_resident_bytes);
+  w.U64(s.queue_depth);
+  w.U64(s.peak_queue_depth);
+  w.U32(static_cast<std::uint32_t>(s.leased_ranks));
+  w.F64(s.rank_seconds_charged);
+  return Finish(FrameType::kStatsResponse, std::move(w));
+}
+
+std::vector<std::byte> EncodeError(const ErrorFrame& error) {
+  Writer w;
+  w.U16(static_cast<std::uint16_t>(error.error));
+  w.Str(error.message);
+  return Finish(FrameType::kError, std::move(w));
+}
+
+std::vector<std::byte> EncodeShutdown() {
+  return Finish(FrameType::kShutdown, Writer());
+}
+
+ResponseFrame ToResponseFrame(std::uint64_t tag,
+                              const ServeResponse& response) {
+  ResponseFrame frame;
+  frame.tag = tag;
+  frame.status = response.status;
+  frame.error = response.error;
+  frame.queue_seconds = response.queue_seconds;
+  frame.service_seconds = response.service_seconds;
+  frame.from_result_cache = response.from_result_cache;
+  frame.frequent = response.report.frequent;
+  frame.rules = response.report.rules;
+  frame.minsup_count = response.report.minsup_count;
+  return frame;
+}
+
+ServeResponse FromResponseFrame(ResponseFrame&& frame) {
+  ServeResponse response;
+  response.status = frame.status;
+  response.error = std::move(frame.error);
+  response.queue_seconds = frame.queue_seconds;
+  response.service_seconds = frame.service_seconds;
+  response.from_result_cache = frame.from_result_cache;
+  response.report.frequent = std::move(frame.frequent);
+  response.report.rules = std::move(frame.rules);
+  response.report.minsup_count = frame.minsup_count;
+  return response;
+}
+
+// --- decoders -------------------------------------------------------------
+
+Result<HelloFrame> DecodeHello(std::span<const std::byte> body) {
+  Reader r(body);
+  const std::uint32_t magic = r.U32();
+  HelloFrame hello;
+  hello.min_version = r.U16();
+  hello.max_version = r.U16();
+  if (!r.Done() || magic != kProtocolMagic) return Malformed("hello");
+  return hello;
+}
+
+Result<HelloAckFrame> DecodeHelloAck(std::span<const std::byte> body) {
+  Reader r(body);
+  HelloAckFrame ack;
+  ack.version = static_cast<ProtocolVersion>(r.U16());
+  ack.server = r.Str();
+  if (!r.Done()) return Malformed("hello_ack");
+  return ack;
+}
+
+Result<MineFrame> DecodeMine(std::span<const std::byte> body) {
+  Reader r(body);
+  MineFrame mine;
+  mine.tag = r.U64();
+  mine.request.tenant = r.Str();
+  mine.request.dataset = r.Str();
+  const std::uint8_t algorithm = r.U8();
+  mine.request.num_ranks = static_cast<int>(r.U32());
+  mine.request.config.apriori.minsup_count = r.U64();
+  mine.request.config.apriori.minsup_fraction = r.F64();
+  mine.request.config.apriori.max_k = static_cast<int>(r.U32());
+  mine.request.config.apriori.threads_per_rank = static_cast<int>(r.U32());
+  mine.request.generate_rules = r.U8() != 0;
+  mine.request.min_confidence = r.F64();
+  mine.request.deadline_ms = r.F64();
+  if (!r.Done() ||
+      algorithm > static_cast<std::uint8_t>(MiningAlgorithm::kHPA))
+    return Malformed("mine");
+  mine.request.algorithm = static_cast<MiningAlgorithm>(algorithm);
+  return mine;
+}
+
+Result<CancelFrame> DecodeCancel(std::span<const std::byte> body) {
+  Reader r(body);
+  CancelFrame cancel;
+  cancel.tag = r.U64();
+  if (!r.Done()) return Malformed("cancel");
+  return cancel;
+}
+
+Result<StatsFrame> DecodeStats(std::span<const std::byte> body) {
+  Reader r(body);
+  StatsFrame stats;
+  stats.tag = r.U64();
+  if (!r.Done()) return Malformed("stats");
+  return stats;
+}
+
+Result<ResponseFrame> DecodeResponse(std::span<const std::byte> body) {
+  Reader r(body);
+  ResponseFrame response;
+  response.tag = r.U64();
+  const std::uint8_t status = r.U8();
+  response.error = r.Str();
+  response.queue_seconds = r.F64();
+  response.service_seconds = r.F64();
+  response.from_result_cache = r.U8() != 0;
+  response.minsup_count = r.U64();
+  if (status > static_cast<std::uint8_t>(ServeStatus::kCancelled))
+    return Malformed("response");
+  response.status = static_cast<ServeStatus>(status);
+  const std::uint32_t num_levels = r.U32();
+  for (std::uint32_t l = 0; l < num_levels && r.ok(); ++l) {
+    const std::uint32_t k = r.U32();
+    const std::uint64_t n = r.U64();
+    // Each itemset needs k*4 + 8 body bytes, so a valid n is bounded by the
+    // body size — reject before allocating on a corrupt length.
+    if (k == 0 || k > 4096 || n > body.size() ||
+        !r.Need(n * (k * 4u + 8u))) {
+      return Malformed("response");
+    }
+    ItemsetCollection level(static_cast<int>(k));
+    std::vector<Item> items(k);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      for (std::uint32_t j = 0; j < k; ++j)
+        items[j] = static_cast<Item>(r.U32());
+      level.Add(ItemSpan(items.data(), items.size()));
+    }
+    for (std::uint64_t i = 0; i < n; ++i) level.set_count(i, r.U64());
+    response.frequent.levels.push_back(std::move(level));
+  }
+  const std::uint64_t num_rules = r.U64();
+  for (std::uint64_t i = 0; i < num_rules && r.ok(); ++i) {
+    Rule rule;
+    rule.antecedent = r.Items();
+    rule.consequent = r.Items();
+    rule.joint_count = r.U64();
+    rule.support = r.F64();
+    rule.confidence = r.F64();
+    response.rules.push_back(std::move(rule));
+  }
+  if (!r.Done()) return Malformed("response");
+  return response;
+}
+
+Result<StatsResponseFrame> DecodeStatsResponse(
+    std::span<const std::byte> body) {
+  Reader r(body);
+  StatsResponseFrame frame;
+  frame.tag = r.U64();
+  ServerStats& s = frame.stats;
+  s.submitted = r.U64();
+  s.admitted = r.U64();
+  s.completed = r.U64();
+  s.mining_faults = r.U64();
+  s.cancelled = r.U64();
+  s.deadline_exceeded = r.U64();
+  s.expired_in_queue = r.U64();
+  s.watchdog_fired = r.U64();
+  s.rejected_queue_full = r.U64();
+  s.rejected_tenant_in_flight = r.U64();
+  s.rejected_tenant_budget = r.U64();
+  s.rejected_unknown_dataset = r.U64();
+  s.rejected_invalid = r.U64();
+  s.rejected_shutdown = r.U64();
+  s.cache_hits = r.U64();
+  s.cache_misses = r.U64();
+  s.cache_evictions = r.U64();
+  s.result_hits = r.U64();
+  s.result_misses = r.U64();
+  s.result_evictions = r.U64();
+  s.cache_resident_bytes = static_cast<std::size_t>(r.U64());
+  s.result_resident_bytes = static_cast<std::size_t>(r.U64());
+  s.queue_depth = static_cast<std::size_t>(r.U64());
+  s.peak_queue_depth = static_cast<std::size_t>(r.U64());
+  s.leased_ranks = static_cast<int>(r.U32());
+  s.rank_seconds_charged = r.F64();
+  if (!r.Done()) return Malformed("stats_response");
+  return frame;
+}
+
+Result<ErrorFrame> DecodeError(std::span<const std::byte> body) {
+  Reader r(body);
+  const std::uint16_t code = r.U16();
+  ErrorFrame error;
+  error.message = r.Str();
+  if (!r.Done() || code < 1 ||
+      code > static_cast<std::uint16_t>(WireError::kShutdownForbidden))
+    return Malformed("error");
+  error.error = static_cast<WireError>(code);
+  return error;
+}
+
+Result<ProtocolVersion> NegotiateVersion(const HelloFrame& hello) {
+  if (hello.min_version > hello.max_version)
+    return Status::Error("malformed hello: min_version > max_version");
+  const std::uint16_t lo = static_cast<std::uint16_t>(kMinProtocolVersion);
+  const std::uint16_t hi = static_cast<std::uint16_t>(kMaxProtocolVersion);
+  if (hello.max_version < lo || hello.min_version > hi) {
+    std::ostringstream msg;
+    msg << "no common protocol version: client speaks [" << hello.min_version
+        << ", " << hello.max_version << "], server speaks [" << lo << ", "
+        << hi << "]";
+    return Status::Error(msg.str());
+  }
+  return static_cast<ProtocolVersion>(std::min(hello.max_version, hi));
+}
+
+// --- FrameReader ----------------------------------------------------------
+
+void FrameReader::Feed(std::span<const std::byte> bytes) {
+  // Compact before growing once the consumed prefix dominates.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+FrameReader::NextResult FrameReader::Next(FrameType* type,
+                                          std::vector<std::byte>* body) {
+  if (failed_) return NextResult::kError;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < 5) return NextResult::kNeedMore;
+  const std::byte* p = buffer_.data() + consumed_;
+  std::uint32_t length = 0;
+  for (int i = 3; i >= 0; --i)
+    length = (length << 8) | static_cast<std::uint32_t>(p[i]);
+  if (length > max_frame_bytes_) {
+    failed_ = true;
+    error_ = "frame length " + std::to_string(length) + " exceeds limit " +
+             std::to_string(max_frame_bytes_);
+    return NextResult::kError;
+  }
+  const std::uint8_t raw_type = static_cast<std::uint8_t>(p[4]);
+  if (raw_type < static_cast<std::uint8_t>(FrameType::kHello) ||
+      raw_type > static_cast<std::uint8_t>(FrameType::kShutdown)) {
+    failed_ = true;
+    error_ = "unknown frame type " + std::to_string(raw_type);
+    return NextResult::kError;
+  }
+  if (available < 5u + length) return NextResult::kNeedMore;
+  *type = static_cast<FrameType>(raw_type);
+  body->assign(p + 5, p + 5 + length);
+  consumed_ += 5u + length;
+  return NextResult::kFrame;
+}
+
+// --- line protocol --------------------------------------------------------
+
+namespace {
+
+bool ParseTokens(const std::string& line, std::string* verb,
+                 std::vector<std::pair<std::string, std::string>>* kv) {
+  std::string body = line;
+  const std::size_t hash = body.find('#');
+  if (hash != std::string::npos) body.resize(hash);
+  std::istringstream in(body);
+  if (!(*verb = "", in >> *verb)) return false;
+  std::string token;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      kv->emplace_back(token, "true");
+    } else {
+      kv->emplace_back(token.substr(0, eq), token.substr(eq + 1));
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Command> ParseCommandLine(const std::string& line) {
+  Command command;
+  std::string verb;
+  std::vector<std::pair<std::string, std::string>> kv;
+  if (!ParseTokens(line, &verb, &kv)) return command;  // blank: kNone
+
+  if (verb == "cancel") {
+    command.verb = Command::Verb::kCancel;
+    if (kv.empty()) return Status::Error("cancel needs a request id");
+    command.id = kv.front().first;
+    return command;
+  }
+  if (verb == "stats") {
+    command.verb = Command::Verb::kStats;
+    return command;
+  }
+  if (verb == "shutdown") {
+    command.verb = Command::Verb::kShutdown;
+    return command;
+  }
+  if (verb != "mine")
+    return Status::Error("unknown verb '" + verb + "'");
+
+  command.verb = Command::Verb::kMine;
+  MiningRequest& request = command.request;
+  request.tenant = "anonymous";
+  request.num_ranks = 4;
+  request.config.apriori.minsup_fraction = 1.0 / 100.0;
+  request.min_confidence = 0.5;
+  for (const auto& [key, value] : kv) {
+    if (key == "id") {
+      command.id = value;
+    } else if (key == "tenant") {
+      request.tenant = value;
+    } else if (key == "dataset") {
+      request.dataset = value;
+    } else if (key == "algorithm") {
+      if (!ParseMiningAlgorithm(value, &request.algorithm))
+        return Status::Error("unknown algorithm '" + value + "'");
+    } else if (key == "ranks") {
+      request.num_ranks = std::atoi(value.c_str());
+    } else if (key == "minsup") {
+      request.config.apriori.minsup_fraction =
+          std::atof(value.c_str()) / 100.0;
+    } else if (key == "threads") {
+      request.config.apriori.threads_per_rank = std::atoi(value.c_str());
+    } else if (key == "max-k") {
+      request.config.apriori.max_k = std::atoi(value.c_str());
+    } else if (key == "rules") {
+      request.generate_rules = value == "true";
+    } else if (key == "minconf") {
+      request.min_confidence = std::atof(value.c_str()) / 100.0;
+    } else if (key == "deadline-ms") {
+      request.deadline_ms = std::atof(value.c_str());
+    } else {
+      return Status::Error("unknown key '" + key + "'");
+    }
+  }
+  return command;
+}
+
+std::string FormatResponseLine(const std::string& id,
+                               const std::string& tenant,
+                               const std::string& dataset,
+                               ServeStatus status, const std::string& error,
+                               std::size_t itemsets, std::size_t rules,
+                               double queue_ms, double service_ms,
+                               bool from_result_cache) {
+  char buffer[512];
+  if (status == ServeStatus::kOk) {
+    std::snprintf(buffer, sizeof buffer,
+                  "response id=%s tenant=%s dataset=%s status=ok "
+                  "itemsets=%zu rules=%zu cached=%d queue_ms=%.2f "
+                  "service_ms=%.2f",
+                  id.c_str(), tenant.c_str(), dataset.c_str(), itemsets,
+                  rules, from_result_cache ? 1 : 0, queue_ms, service_ms);
+  } else {
+    std::snprintf(buffer, sizeof buffer,
+                  "response id=%s tenant=%s dataset=%s status=%s "
+                  "error=\"%s\"",
+                  id.c_str(), tenant.c_str(), dataset.c_str(),
+                  ServeStatusName(status), error.c_str());
+  }
+  return buffer;
+}
+
+std::string FormatStatsSummary(const ServerStats& stats) {
+  char buffer[1024];
+  std::string out;
+  std::snprintf(
+      buffer, sizeof buffer,
+      "served %llu/%llu requests (%llu ok, %llu faulted, %llu cancelled, "
+      "%llu deadline_exceeded [%llu expired_in_queue], %llu rejected: "
+      "%llu queue_full, %llu quota, %llu budget, %llu unknown_dataset, "
+      "%llu invalid, %llu shutdown)\n",
+      static_cast<unsigned long long>(stats.admitted),
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.mining_faults),
+      static_cast<unsigned long long>(stats.cancelled),
+      static_cast<unsigned long long>(stats.deadline_exceeded),
+      static_cast<unsigned long long>(stats.expired_in_queue),
+      static_cast<unsigned long long>(stats.TotalRejected()),
+      static_cast<unsigned long long>(stats.rejected_queue_full),
+      static_cast<unsigned long long>(stats.rejected_tenant_in_flight),
+      static_cast<unsigned long long>(stats.rejected_tenant_budget),
+      static_cast<unsigned long long>(stats.rejected_unknown_dataset),
+      static_cast<unsigned long long>(stats.rejected_invalid),
+      static_cast<unsigned long long>(stats.rejected_shutdown));
+  out += buffer;
+  std::snprintf(
+      buffer, sizeof buffer,
+      "datasets: %llu hits, %llu misses, %llu evictions, %zu resident "
+      "bytes; results: %llu hits, %llu misses, %llu evictions, %zu "
+      "resident bytes; peak queue %zu; %llu watchdog fires; %.3f "
+      "rank-seconds charged\n",
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.cache_misses),
+      static_cast<unsigned long long>(stats.cache_evictions),
+      stats.cache_resident_bytes,
+      static_cast<unsigned long long>(stats.result_hits),
+      static_cast<unsigned long long>(stats.result_misses),
+      static_cast<unsigned long long>(stats.result_evictions),
+      stats.result_resident_bytes, stats.peak_queue_depth,
+      static_cast<unsigned long long>(stats.watchdog_fired),
+      stats.rank_seconds_charged);
+  out += buffer;
+  return out;
+}
+
+}  // namespace pam::serve

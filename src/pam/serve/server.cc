@@ -1,5 +1,6 @@
 #include "pam/serve/server.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "pam/mp/fault.h"
@@ -91,7 +92,8 @@ MiningServer::MiningServer(const ServerConfig& config)
     : config_(config),
       pool_(config.pool_ranks),
       cache_(config.cache_page_bytes, config.cache_budget_bytes,
-             config.cache_ttl_ms) {
+             config.cache_ttl_ms),
+      results_(config.result_cache_budget_bytes, config.result_cache_ttl_ms) {
   serve_obs_.origin = std::chrono::steady_clock::now();
   const int workers = config_.workers > 0 ? config_.workers : 1;
   workers_.reserve(static_cast<std::size_t>(workers));
@@ -115,57 +117,53 @@ const TenantQuota& MiningServer::QuotaFor(const std::string& tenant) const {
                                            : it->second;
 }
 
-std::future<ServeResponse> MiningServer::Reject(ServeStatus status,
-                                                std::string error) {
-  std::promise<ServeResponse> promise;
-  ServeResponse response;
-  response.status = status;
-  response.error = std::move(error);
-  promise.set_value(std::move(response));
-  return promise.get_future();
-}
-
-std::future<ServeResponse> MiningServer::Submit(MiningRequest request) {
-  std::lock_guard<std::mutex> lock(mu_);
+bool MiningServer::AdmitLocked(MiningRequest& request,
+                               std::function<void(ServeResponse)>& done,
+                               ServeResponse* rejection) {
+  const auto reject = [rejection](ServeStatus status, std::string error) {
+    rejection->status = status;
+    rejection->error = std::move(error);
+    return false;
+  };
   ++stats_.submitted;
   if (!accepting_) {
     ++stats_.rejected_shutdown;
-    return Reject(ServeStatus::kShuttingDown, "server is shutting down");
+    return reject(ServeStatus::kShuttingDown, "server is shutting down");
   }
   if (request.dataset.empty()) {
     ++stats_.rejected_invalid;
-    return Reject(ServeStatus::kInvalidRequest, "request names no dataset");
+    return reject(ServeStatus::kInvalidRequest, "request names no dataset");
   }
   const int ranks = IsParallel(request.algorithm) ? request.num_ranks : 1;
   if (ranks < 1 || ranks > pool_.capacity()) {
     ++stats_.rejected_invalid;
-    return Reject(ServeStatus::kInvalidRequest,
+    return reject(ServeStatus::kInvalidRequest,
                   "requested " + std::to_string(ranks) + " ranks from a " +
                       std::to_string(pool_.capacity()) + "-rank pool");
   }
   if (!cache_.Contains(request.dataset)) {
     ++stats_.rejected_unknown_dataset;
-    return Reject(ServeStatus::kUnknownDataset,
+    return reject(ServeStatus::kUnknownDataset,
                   "unknown dataset '" + request.dataset + "'");
   }
   const TenantQuota& quota = QuotaFor(request.tenant);
   TenantUsage& usage = tenants_[request.tenant];
   if (quota.max_in_flight > 0 && usage.in_flight >= quota.max_in_flight) {
     ++stats_.rejected_tenant_in_flight;
-    return Reject(ServeStatus::kTenantInFlightExceeded,
+    return reject(ServeStatus::kTenantInFlightExceeded,
                   "tenant '" + request.tenant + "' already has " +
                       std::to_string(usage.in_flight) +
                       " requests in flight");
   }
   if (quota.rank_seconds > 0.0 && usage.rank_seconds >= quota.rank_seconds) {
     ++stats_.rejected_tenant_budget;
-    return Reject(ServeStatus::kTenantBudgetExhausted,
+    return reject(ServeStatus::kTenantBudgetExhausted,
                   "tenant '" + request.tenant +
                       "' exhausted its rank-seconds budget");
   }
-  if (queue_.size() >= config_.max_queue) {
+  if (queued_ >= config_.max_queue) {
     ++stats_.rejected_queue_full;
-    return Reject(ServeStatus::kQueueFull,
+    return reject(ServeStatus::kQueueFull,
                   "admission queue is full (" +
                       std::to_string(config_.max_queue) + " requests)");
   }
@@ -175,6 +173,7 @@ std::future<ServeResponse> MiningServer::Submit(MiningRequest request) {
   ++usage.admitted;
   Job job;
   job.request = std::move(request);
+  job.done = std::move(done);
   // Cancellation plumbing at admission (DESIGN.md §13): apply the server
   // default deadline, materialize a token when a deadline or the watchdog
   // needs one, and arm the deadline *now* — queue time counts against it,
@@ -194,18 +193,74 @@ std::future<ServeResponse> MiningServer::Submit(MiningRequest request) {
   }
   job.enqueued_at = std::chrono::steady_clock::now();
   job.sequence = next_sequence_++;
-  std::future<ServeResponse> future = job.promise.get_future();
-  queue_.push_back(std::move(job));
-  stats_.queue_depth = queue_.size();
-  if (queue_.size() > stats_.peak_queue_depth) {
-    stats_.peak_queue_depth = queue_.size();
-  }
+
+  // Start-time fair queueing (DESIGN.md §15): the job's virtual start is
+  // the later of global virtual time and its tenant's last virtual
+  // finish; the tenant's clock then advances by cost/weight, where cost
+  // is the rank demand — so a weight-w tenant's clock advances 1/w as
+  // fast per unit of service, and it is dispatched w times as often.
+  const double weight = quota.weight > 0 ? quota.weight : 1.0;
+  TenantQueue& tq = queues_[job.request.tenant];
+  job.vstart = std::max(virtual_time_, tq.last_vfinish);
+  tq.last_vfinish = job.vstart + static_cast<double>(ranks) / weight;
+  tq.jobs.push_back(std::move(job));
+  ++queued_;
+  stats_.queue_depth = queued_;
+  if (queued_ > stats_.peak_queue_depth) stats_.peak_queue_depth = queued_;
   queue_cv_.notify_one();
+  return true;
+}
+
+void MiningServer::SubmitWith(MiningRequest request,
+                              std::function<void(ServeResponse)> done) {
+  ServeResponse rejection;
+  bool admitted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    admitted = AdmitLocked(request, done, &rejection);
+  }
+  // Rejection callbacks run on the submitter's thread, outside mu_, so a
+  // callback that calls back into the server (stats, resubmit) is safe.
+  if (!admitted) done(std::move(rejection));
+}
+
+std::future<ServeResponse> MiningServer::Submit(MiningRequest request) {
+  auto promise = std::make_shared<std::promise<ServeResponse>>();
+  std::future<ServeResponse> future = promise->get_future();
+  SubmitWith(std::move(request), [promise](ServeResponse response) {
+    promise->set_value(std::move(response));
+  });
   return future;
 }
 
 ServeResponse MiningServer::Execute(MiningRequest request) {
   return Submit(std::move(request)).get();
+}
+
+MiningServer::Job MiningServer::PopJobLocked() {
+  // Dispatch the backlogged job with the smallest virtual start time,
+  // breaking ties by submission order. Tenant count is small (it is the
+  // quota map's scale), so a linear scan of queue heads beats maintaining
+  // a heap under churn.
+  TenantQueue* best = nullptr;
+  for (auto& [tenant, tq] : queues_) {
+    if (tq.jobs.empty()) continue;
+    if (best == nullptr ||
+        tq.jobs.front().vstart < best->jobs.front().vstart ||
+        (tq.jobs.front().vstart == best->jobs.front().vstart &&
+         tq.jobs.front().sequence < best->jobs.front().sequence)) {
+      best = &tq;
+    }
+  }
+  Job job = std::move(best->jobs.front());
+  best->jobs.pop_front();
+  --queued_;
+  stats_.queue_depth = queued_;
+  // Global virtual time tracks the start tag of the job in service; it
+  // never runs ahead of unserved work, which is what bounds how long any
+  // backlogged tenant can wait (DESIGN.md §15).
+  virtual_time_ = std::max(virtual_time_, job.vstart);
+  return job;
 }
 
 void MiningServer::WorkerMain(int worker_id) {
@@ -217,17 +272,15 @@ void MiningServer::WorkerMain(int worker_id) {
     Job job;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping, fully drained
-      job = std::move(queue_.front());
-      queue_.pop_front();
-      stats_.queue_depth = queue_.size();
+      queue_cv_.wait(lock, [&] { return stopping_ || queued_ > 0; });
+      if (queued_ == 0) return;  // stopping, fully drained
+      job = PopJobLocked();
     }
     ServeResponse response = Process(job, worker_id);
-    // The promise resolves only after the rank lease is back in the pool
+    // The callback fires only after the rank lease is back in the pool
     // and the tenant accounting is settled, so a caller observing the
     // response observes a consistent server.
-    job.promise.set_value(std::move(response));
+    job.done(std::move(response));
   }
 }
 
@@ -240,12 +293,23 @@ ServeResponse MiningServer::Process(Job& job, int worker_id) {
   const CancelToken token = job.request.cancel;
   const int ranks =
       IsParallel(job.request.algorithm) ? job.request.num_ranks : 1;
+  // A request is result-cacheable when its output is a pure function of
+  // (dataset, canonical config): timeline collection and fault injection
+  // make the report run-specific, so those bypass the cache both ways.
+  const bool cacheable = config_.result_cache &&
+                         !job.request.collect_timeline &&
+                         !job.request.config.fault.enabled;
+  const std::uint64_t digest = cacheable ? job.request.CanonicalDigest() : 0;
   double charged = 0.0;
   bool shed_in_queue = false;
   {
     obs::ScopedSpan span(obs::SpanKind::kServeRequest,
                          static_cast<std::int64_t>(job.sequence), nullptr);
     const CancelReason queued_reason = token.Check();
+    ResultHandle hit;
+    if (queued_reason == CancelReason::kNone && cacheable) {
+      hit = results_.Get(job.request.dataset, digest);
+    }
     if (queued_reason != CancelReason::kNone) {
       // Queue-side shedding: the token fired while the request waited, so
       // it dies here — no dataset load, no rank lease, no run.
@@ -254,6 +318,17 @@ ServeResponse MiningServer::Process(Job& job, int worker_id) {
       EmitCancelInstant(shed_in_queue ? "expired_in_queue"
                                       : "cancelled_in_queue");
       span.Cancel();
+    } else if (hit != nullptr) {
+      // Result-cache hit (DESIGN.md §15): serve the immutable cached
+      // report as-is — no dataset touch, no rank lease, no tenant charge.
+      // The handle pins the entry until the report copy below completes.
+      response.report = hit->report;
+      response.status = ServeStatus::kOk;
+      response.from_result_cache = true;
+      obs::RankTracer* tracer = obs::CurrentTracer();
+      if (tracer != nullptr) {
+        tracer->EmitInstant(obs::SpanKind::kResultCacheHit, "hit");
+      }
     } else {
       Result<DatasetHandle> dataset = cache_.Get(job.request.dataset);
       if (!dataset.ok()) {
@@ -310,6 +385,11 @@ ServeResponse MiningServer::Process(Job& job, int worker_id) {
           // The machine was used whether the run completed, faulted, or
           // was cancelled mid-flight.
           charged = static_cast<double>(ranks) * response.service_seconds;
+          if (cacheable && response.status == ServeStatus::kOk) {
+            // Publish the freshly mined report for later identical
+            // requests (Put copies; the response keeps its own).
+            results_.Put(job.request.dataset, digest, response.report);
+          }
         }
       }
     }
@@ -322,6 +402,7 @@ ServeResponse MiningServer::Process(Job& job, int worker_id) {
   std::lock_guard<std::mutex> lock(mu_);
   TenantUsage& usage = tenants_[job.request.tenant];
   --usage.in_flight;
+  ++usage.dispatched;
   usage.rank_seconds += charged;
   stats_.rank_seconds_charged += charged;
   switch (response.status) {
@@ -366,10 +447,15 @@ void MiningServer::WatchdogMain() {
 ServerStats MiningServer::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   ServerStats stats = stats_;
-  stats.queue_depth = queue_.size();
+  stats.queue_depth = queued_;
   stats.cache_hits = cache_.Hits();
   stats.cache_misses = cache_.Misses();
   stats.cache_evictions = cache_.Evictions();
+  stats.cache_resident_bytes = cache_.ResidentBytes();
+  stats.result_hits = results_.Hits();
+  stats.result_misses = results_.Misses();
+  stats.result_evictions = results_.Evictions();
+  stats.result_resident_bytes = results_.ResidentBytes();
   stats.leased_ranks = pool_.capacity() - pool_.Available();
   return stats;
 }

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <mutex>
@@ -16,6 +17,7 @@
 #include "pam/api/session.h"
 #include "pam/mp/rank_pool.h"
 #include "pam/serve/dataset_cache.h"
+#include "pam/serve/result_cache.h"
 
 namespace pam::serve {
 
@@ -55,6 +57,11 @@ struct TenantQuota {
   /// leased_ranks x service_wall_seconds; once a tenant's cumulative
   /// charge reaches this, further submits are rejected.
   double rank_seconds = 0.0;
+  /// Fair-queueing weight (DESIGN.md §15): under contention a tenant
+  /// receives service in proportion to its weight — a weight-3 tenant is
+  /// dispatched ~3x as often as a weight-1 tenant submitting equal-cost
+  /// requests. Values <= 0 are treated as 1.
+  double weight = 1.0;
 };
 
 /// Server shape: how much machine it serves and how much it will queue.
@@ -86,6 +93,16 @@ struct ServerConfig {
   /// seen a progress heartbeat for this long, converting a stalled world
   /// into a typed kMiningFault response instead of a hung rank lease.
   double watchdog_ms = 0;
+  /// Serve finished MiningReports from the result cache (DESIGN.md §15):
+  /// a request whose (dataset, CanonicalDigest) matches a cached report
+  /// is answered without touching the dataset or leasing a rank. Off by
+  /// default — hits do not re-mine, so responses stop carrying a fresh
+  /// dataset handle and per-run metrics, which callers must opt into.
+  bool result_cache = false;
+  /// Resident-bytes budget of the result cache (0 = unlimited).
+  std::size_t result_cache_budget_bytes = 0;
+  /// Idle TTL of cached results in milliseconds (0 = never expires).
+  double result_cache_ttl_ms = 0;
 };
 
 /// Everything the server says about one request.
@@ -103,6 +120,10 @@ struct ServeResponse {
   double queue_seconds = 0.0;
   /// Seconds from dequeue to completion (rank-lease wait + mining run).
   double service_seconds = 0.0;
+  /// True when the report was served from the result cache: no dataset
+  /// touch, no rank lease, no fresh metrics — the report is the cached
+  /// run's, byte-identical in frequent itemsets and rules.
+  bool from_result_cache = false;
 
   bool ok() const { return status == ServeStatus::kOk; }
   bool rejected() const { return IsRejection(status); }
@@ -132,6 +153,14 @@ struct ServerStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
+  /// Result-cache activity (all zero unless ServerConfig::result_cache).
+  /// A hit is still a completed request — `completed` counts it — it just
+  /// consumed no rank lease, which `pool().LeasesGranted()` can pin down.
+  std::uint64_t result_hits = 0;
+  std::uint64_t result_misses = 0;
+  std::uint64_t result_evictions = 0;
+  std::size_t cache_resident_bytes = 0;   // dataset cache residency
+  std::size_t result_resident_bytes = 0;  // result cache residency
   std::size_t queue_depth = 0;       // current
   std::size_t peak_queue_depth = 0;
   int leased_ranks = 0;              // current (pool capacity - available)
@@ -144,10 +173,16 @@ struct ServerStats {
   }
 };
 
-/// A tenant's live accounting.
+/// A tenant's live accounting. Once the server has drained, summing
+/// `rank_seconds` over all tenants reproduces
+/// ServerStats::rank_seconds_charged exactly, and summing `dispatched`
+/// reproduces `admitted` — the per-tenant service-share invariant the
+/// serve suite asserts.
 struct TenantUsage {
   int in_flight = 0;
   std::uint64_t admitted = 0;
+  /// Jobs a worker has picked up and settled for this tenant.
+  std::uint64_t dispatched = 0;
   double rank_seconds = 0.0;
 };
 
@@ -166,7 +201,14 @@ struct TenantUsage {
 /// Admission control happens synchronously in Submit: a request is either
 /// admitted (future resolves when it finishes) or rejected with a typed
 /// ServeStatus (future is already resolved). Admitted requests wait in a
-/// bounded FIFO queue for a worker, lease their ranks from the shared
+/// bounded queue scheduled by start-time weighted fair queueing over the
+/// tenants (DESIGN.md §15): each tenant owns a FIFO of its jobs tagged
+/// with virtual start/finish times, workers always dispatch the eligible
+/// job with the smallest virtual start, and a tenant's virtual clock
+/// advances by cost/weight per job — so under saturation tenants receive
+/// service shares proportional to their TenantQuota::weight, while any
+/// backlogged tenant is dispatched within a bounded number of rounds
+/// (never starved). Dispatched jobs lease their ranks from the shared
 /// RankPool (FIFO, so wide requests are never starved), run through a
 /// per-request MiningSession over the cached dataset, and are charged to
 /// their tenant's rank-seconds budget.
@@ -208,6 +250,15 @@ class MiningServer {
   /// for rejections, at completion otherwise.
   std::future<ServeResponse> Submit(MiningRequest request);
 
+  /// Callback form of Submit, for transport front-ends (pam/serve/
+  /// net_server.h) that push responses into a connection rather than
+  /// joining futures. `done` is invoked exactly once, from the submitting
+  /// thread for rejections (after admission bookkeeping, never under the
+  /// server lock) or from a worker thread otherwise; it must not block
+  /// for long and may call back into the server.
+  void SubmitWith(MiningRequest request,
+                  std::function<void(ServeResponse)> done);
+
   /// Blocking convenience: Submit + wait.
   ServeResponse Execute(MiningRequest request);
 
@@ -221,28 +272,52 @@ class MiningServer {
   /// destructor calls it.
   void Shutdown();
 
+  /// The result cache (empty and idle unless config.result_cache).
+  const ResultCache& results() const { return results_; }
+
  private:
   struct Job {
     MiningRequest request;
-    std::promise<ServeResponse> promise;
+    std::function<void(ServeResponse)> done;
     std::chrono::steady_clock::time_point enqueued_at;
     std::uint64_t sequence = 0;
+    /// SFQ virtual start time of this job (DESIGN.md §15).
+    double vstart = 0.0;
+  };
+
+  /// One tenant's backlog plus its virtual clock. `last_vfinish` persists
+  /// while the tenant is idle, so a tenant cannot bank credit by pausing:
+  /// re-arrival starts at max(virtual_time_, last_vfinish).
+  struct TenantQueue {
+    std::deque<Job> jobs;
+    double last_vfinish = 0.0;
   };
 
   void WorkerMain(int worker_id);
   void WatchdogMain();
   ServeResponse Process(Job& job, int worker_id);
   const TenantQuota& QuotaFor(const std::string& tenant) const;
-  std::future<ServeResponse> Reject(ServeStatus status, std::string error);
+  /// Admission + WFQ enqueue under mu_. On rejection, fills `rejection`
+  /// and leaves `done` untouched (the caller invokes it lock-free).
+  bool AdmitLocked(MiningRequest& request,
+                   std::function<void(ServeResponse)>& done,
+                   ServeResponse* rejection);
+  /// Dequeues the job with the smallest vstart (caller holds mu_;
+  /// queued_ must be > 0). Advances virtual_time_.
+  Job PopJobLocked();
 
   const ServerConfig config_;
   RankPool pool_;
   DatasetCache cache_;
+  ResultCache results_;
 
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;
   std::condition_variable watchdog_cv_;
-  std::deque<Job> queue_;
+  std::map<std::string, TenantQueue> queues_;
+  std::size_t queued_ = 0;
+  /// Global SFQ virtual time: the vstart of the last dispatched job.
+  double virtual_time_ = 0.0;
   std::map<std::string, TenantUsage> tenants_;
   /// Tokens of requests currently executing a mining run, keyed by job
   /// sequence — the watchdog's scan set.

@@ -1,18 +1,30 @@
 // pam_serve: mining-as-a-service — a long-lived multi-tenant daemon over
 // the MiningSession facade. Datasets are registered up front and cached as
-// shared immutable payload pages; requests stream in as text lines (stdin
-// or --script), are admission-controlled against the bounded queue and
-// per-tenant quotas, and execute concurrently over the shared rank pool.
+// shared immutable payload pages; requests are admission-controlled
+// against the bounded queue and per-tenant quotas, scheduled by weighted
+// fair queueing, and execute concurrently over the shared rank pool.
 //
+// Two front-ends over the same server and the same protocol module
+// (src/pam/serve/protocol.h):
+//
+//   # script mode (default): text command lines on stdin or --script
 //   pam_serve --datasets retail=retail.bin,web=web.bin --ranks 8 <<'EOF'
 //   mine id=r1 tenant=acme dataset=retail algorithm=hd ranks=4 minsup=2
 //   mine id=r2 tenant=acme dataset=retail algorithm=serial minsup=2 rules
-//   mine id=r3 tenant=zeta dataset=web algorithm=idd ranks=2 minsup=1.5
+//   cancel r1
 //   EOF
 //
-// Responses print in submission order once the input is exhausted, then a
-// server-counter summary (queue peaks, cache hits, typed rejections).
+//   # network mode: the versioned length-prefixed wire protocol over TCP
+//   pam_serve --datasets retail=retail.bin --listen --port 7733
+//   pam_client --port 7733 <<'EOF'
+//   mine id=r1 tenant=acme dataset=retail algorithm=hd ranks=4 minsup=2
+//   EOF
+//
+// Script mode prints responses in submission order once the input is
+// exhausted, then a server-counter summary. Network mode serves until
+// SIGINT/SIGTERM or (with --allow-shutdown) a client shutdown frame.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -24,6 +36,8 @@
 #include <vector>
 
 #include "pam/obs/chrome_trace.h"
+#include "pam/serve/net_server.h"
+#include "pam/serve/protocol.h"
 #include "pam/serve/server.h"
 #include "pam/tdb/io.h"
 #include "pam/util/flags.h"
@@ -38,19 +52,30 @@ constexpr const char* kUsage = R"(usage: pam_serve [flags] < requests
   --queue N          admission queue bound (default 64)
   --tenant-inflight N  per-tenant max in-flight requests (default 0 = off)
   --tenant-budget S  per-tenant rank-seconds budget (default 0 = off)
+  --tenant-weights L fair-queueing weights NAME=W[,NAME=W...] (default 1)
   --page-bytes B     dataset cache wire-page size (default 65536)
   --default-deadline-ms D  deadline for requests carrying none (0 = off)
   --cache-budget-mb M  dataset cache resident budget in MiB (0 = off)
   --watchdog-ms W    cancel runs with no progress heartbeat for W ms (0 = off)
+  --result-cache     serve repeated identical requests from the result cache
+  --result-cache-budget-mb M  result cache resident budget in MiB (0 = off)
+  --result-cache-ttl-ms T     result cache idle TTL (0 = never)
   --script F         read request lines from F instead of stdin
   --trace-out F      write the serve_request span timeline to F
   --quiet            print only the final counter summary
+network mode:
+  --listen           serve the wire protocol over TCP instead of stdin
+  --bind ADDR        listen address (default 127.0.0.1)
+  --port P           listen port (default 0 = ephemeral; printed at start)
+  --port-file F      write the bound port to F (for scripted clients)
+  --allow-shutdown   honor client shutdown frames (for CI smoke)
 
 request lines (one per request; '#' starts a comment):
   mine id=TAG tenant=NAME dataset=NAME [algorithm=ALG] [ranks=P]
        [minsup=PCT] [minconf=PCT] [rules] [threads=T] [max-k=K]
        [deadline-ms=D]
   cancel TAG         fire the cancel token of an earlier mine line
+  stats              print the server counter summary so far
 )";
 
 struct PendingRequest {
@@ -60,28 +85,108 @@ struct PendingRequest {
   std::future<pam::serve::ServeResponse> future;
 };
 
-/// Splits a request line into whitespace-separated tokens; `key=value`
-/// tokens land in the map, bare tokens (e.g. `rules`) map to "true".
-bool ParseRequestLine(const std::string& line, std::string* verb,
-                      std::map<std::string, std::string>* kv) {
-  std::istringstream in(line);
-  if (!(in >> *verb)) return false;
-  std::string token;
-  while (in >> token) {
-    const std::size_t eq = token.find('=');
-    if (eq == std::string::npos) {
-      (*kv)[token] = "true";
-    } else {
-      (*kv)[token.substr(0, eq)] = token.substr(eq + 1);
+/// Parses NAME=VALUE comma lists (datasets, tenant weights).
+bool ParsePairs(const std::string& list,
+                std::vector<std::pair<std::string, std::string>>* pairs) {
+  std::stringstream in(list);
+  std::string entry;
+  while (std::getline(in, entry, ',')) {
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == entry.size()) {
+      return false;
     }
+    pairs->emplace_back(entry.substr(0, eq), entry.substr(eq + 1));
   }
   return true;
 }
 
-std::string Lookup(const std::map<std::string, std::string>& kv,
-                   const std::string& key, const std::string& fallback) {
-  auto it = kv.find(key);
-  return it == kv.end() ? fallback : it->second;
+volatile std::sig_atomic_t g_interrupted = 0;
+pam::serve::NetServer* g_net = nullptr;
+
+void HandleSignal(int) {
+  g_interrupted = 1;
+  // Stop() is not async-signal-safe in general; flag + a second wake via
+  // the process dying is the fallback. In practice the CI path uses the
+  // shutdown frame, and interactive ^C lands here between poll rounds.
+  if (g_net != nullptr) g_net->Stop();
+}
+
+int RunScriptMode(pam::serve::MiningServer& server, std::istream& in,
+                  bool quiet) {
+  std::vector<PendingRequest> pending;
+  // Every mine line gets a client-held CancelToken; a later `cancel TAG`
+  // line fires it — the server observes the shared token and sheds the
+  // request whether it is still queued or already mid-run.
+  std::map<std::string, pam::CancelToken> tokens;
+  std::string line;
+  int bad_lines = 0;
+  while (std::getline(in, line)) {
+    pam::Result<pam::serve::Command> parsed =
+        pam::serve::ParseCommandLine(line);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "warning: %s; line ignored\n",
+                   parsed.status().message().c_str());
+      ++bad_lines;
+      continue;
+    }
+    pam::serve::Command& command = parsed.value();
+    switch (command.verb) {
+      case pam::serve::Command::Verb::kNone:
+        break;
+      case pam::serve::Command::Verb::kCancel: {
+        auto it = tokens.find(command.id);
+        if (it == tokens.end()) {
+          std::fprintf(stderr,
+                       "warning: cancel of unknown id '%s' ignored\n",
+                       command.id.c_str());
+          ++bad_lines;
+        } else {
+          it->second.Cancel();
+        }
+        break;
+      }
+      case pam::serve::Command::Verb::kStats:
+        std::fputs(
+            pam::serve::FormatStatsSummary(server.Stats()).c_str(),
+            stdout);
+        break;
+      case pam::serve::Command::Verb::kShutdown:
+        // Script mode already shuts down at EOF; nothing extra to do.
+        break;
+      case pam::serve::Command::Verb::kMine: {
+        PendingRequest p;
+        p.id = command.id.empty() ? "req" + std::to_string(pending.size())
+                                  : command.id;
+        p.tenant = command.request.tenant;
+        p.dataset = command.request.dataset;
+        command.request.cancel = pam::CancelToken::Create();
+        tokens[p.id] = command.request.cancel;
+        p.future = server.Submit(std::move(command.request));
+        pending.push_back(std::move(p));
+        break;
+      }
+    }
+  }
+
+  int failures = bad_lines;
+  for (PendingRequest& p : pending) {
+    pam::serve::ServeResponse response = p.future.get();
+    if (!quiet) {
+      std::printf("%s\n",
+                  pam::serve::FormatResponseLine(
+                      p.id, p.tenant, p.dataset, response.status,
+                      response.error, response.report.frequent.TotalCount(),
+                      response.report.rules.size(),
+                      response.queue_seconds * 1e3,
+                      response.service_seconds * 1e3,
+                      response.from_result_cache)
+                      .c_str());
+    }
+    // Deadline and cancel outcomes are expected typed responses, not tool
+    // failures; only infrastructure faults flip the exit code.
+    if (response.status == pam::serve::ServeStatus::kMiningFault) ++failures;
+  }
+  return failures;
 }
 
 }  // namespace
@@ -94,8 +199,11 @@ int main(int argc, char** argv) {
   }
   const std::vector<std::string> known = {
       "datasets", "format", "ranks",    "workers",   "queue",
-      "tenant-inflight",    "tenant-budget",         "page-bytes",
-      "default-deadline-ms", "cache-budget-mb",      "watchdog-ms",
+      "tenant-inflight",    "tenant-budget",         "tenant-weights",
+      "page-bytes",         "default-deadline-ms",   "cache-budget-mb",
+      "watchdog-ms",        "result-cache",          "result-cache-budget-mb",
+      "result-cache-ttl-ms",
+      "listen",   "bind",   "port",     "port-file", "allow-shutdown",
       "script",   "trace-out", "quiet", "help"};
   for (const std::string& f : flags.UnknownFlags(known)) {
     std::fprintf(stderr, "error: unknown flag --%s\n%s", f.c_str(), kUsage);
@@ -120,6 +228,22 @@ int main(int argc, char** argv) {
   config.cache_budget_bytes = static_cast<std::size_t>(
       flags.GetDouble("cache-budget-mb", 0.0) * 1024.0 * 1024.0);
   config.watchdog_ms = flags.GetDouble("watchdog-ms", 0.0);
+  config.result_cache = flags.GetBool("result-cache", false);
+  config.result_cache_budget_bytes = static_cast<std::size_t>(
+      flags.GetDouble("result-cache-budget-mb", 0.0) * 1024.0 * 1024.0);
+  config.result_cache_ttl_ms = flags.GetDouble("result-cache-ttl-ms", 0.0);
+  if (flags.Has("tenant-weights")) {
+    std::vector<std::pair<std::string, std::string>> weights;
+    if (!ParsePairs(flags.GetString("tenant-weights", ""), &weights)) {
+      std::fprintf(stderr, "error: bad --tenant-weights entry\n%s", kUsage);
+      return 2;
+    }
+    for (const auto& [tenant, weight] : weights) {
+      pam::serve::TenantQuota quota = config.default_quota;
+      quota.weight = std::atof(weight.c_str());
+      config.tenant_quotas[tenant] = quota;
+    }
+  }
 
   pam::serve::MiningServer server(config);
   pam::obs::ChromeTraceWriter trace_writer;
@@ -128,160 +252,74 @@ int main(int argc, char** argv) {
   // Register the catalog: NAME=PATH pairs, loaded lazily by the cache on
   // the first request that names them.
   const std::string format = flags.GetString("format", "binary");
-  std::stringstream catalog(flags.GetString("datasets", ""));
-  std::string entry;
-  std::size_t registered = 0;
-  while (std::getline(catalog, entry, ',')) {
-    const std::size_t eq = entry.find('=');
-    if (eq == std::string::npos || eq == 0 || eq + 1 == entry.size()) {
-      std::fprintf(stderr, "error: bad --datasets entry '%s'\n",
-                   entry.c_str());
-      return 2;
-    }
-    const std::string name = entry.substr(0, eq);
-    const std::string path = entry.substr(eq + 1);
+  std::vector<std::pair<std::string, std::string>> catalog;
+  if (!ParsePairs(flags.GetString("datasets", ""), &catalog) ||
+      catalog.empty()) {
+    std::fprintf(stderr, "error: bad --datasets list\n%s", kUsage);
+    return 2;
+  }
+  for (const auto& [name, path] : catalog) {
     server.datasets().Register(name, [path, format] {
       return format == "text" ? pam::ReadText(path) : pam::ReadBinary(path);
     });
-    ++registered;
-  }
-  if (registered == 0) {
-    std::fprintf(stderr, "error: --datasets names no datasets\n%s", kUsage);
-    return 2;
   }
 
   const bool quiet = flags.GetBool("quiet", false);
   std::printf("pam_serve: %zu datasets, %d ranks, %d workers, queue %zu\n",
-              registered, config.pool_ranks, config.workers,
+              catalog.size(), config.pool_ranks, config.workers,
               config.max_queue);
 
-  std::ifstream script;
-  if (flags.Has("script")) {
-    script.open(flags.GetString("script", ""));
-    if (!script) {
-      std::fprintf(stderr, "error: cannot open --script %s\n",
-                   flags.GetString("script", "").c_str());
-      return 2;
+  int failures = 0;
+  if (flags.GetBool("listen", false)) {
+    pam::serve::NetServerConfig net_config;
+    net_config.bind_address = flags.GetString("bind", "127.0.0.1");
+    net_config.port = static_cast<int>(flags.GetInt("port", 0));
+    net_config.allow_shutdown = flags.GetBool("allow-shutdown", false);
+    pam::serve::NetServer net(&server, net_config);
+    const pam::Status status = net.Start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.message().c_str());
+      return 1;
     }
-  }
-  std::istream& in = flags.Has("script") ? script : std::cin;
-
-  std::vector<PendingRequest> pending;
-  // Every mine line gets a client-held CancelToken; a later `cancel TAG`
-  // line fires it — the server observes the shared token and sheds the
-  // request whether it is still queued or already mid-run.
-  std::map<std::string, pam::CancelToken> tokens;
-  std::string line;
-  int bad_lines = 0;
-  while (std::getline(in, line)) {
-    const std::size_t hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    std::string verb;
-    std::map<std::string, std::string> kv;
-    if (!ParseRequestLine(line, &verb, &kv)) continue;  // blank
-    if (verb == "cancel") {
-      const std::string target =
-          kv.empty() ? std::string() : kv.begin()->first;
-      auto it = tokens.find(target);
-      if (it == tokens.end()) {
-        std::fprintf(stderr, "warning: cancel of unknown id '%s' ignored\n",
-                     target.c_str());
-        ++bad_lines;
-      } else {
-        it->second.Cancel();
-      }
-      continue;
-    }
-    if (verb != "mine") {
-      std::fprintf(stderr, "warning: unknown verb '%s' ignored\n",
-                   verb.c_str());
-      ++bad_lines;
-      continue;
-    }
-    pam::MiningRequest request;
-    request.tenant = Lookup(kv, "tenant", "anonymous");
-    request.dataset = Lookup(kv, "dataset", "");
-    const std::string algorithm = Lookup(kv, "algorithm", "serial");
-    if (!pam::ParseMiningAlgorithm(algorithm, &request.algorithm)) {
-      std::fprintf(stderr, "warning: unknown algorithm '%s' ignored\n",
-                   algorithm.c_str());
-      ++bad_lines;
-      continue;
-    }
-    request.num_ranks = std::atoi(Lookup(kv, "ranks", "4").c_str());
-    request.config.apriori.minsup_fraction =
-        std::atof(Lookup(kv, "minsup", "1.0").c_str()) / 100.0;
-    request.config.apriori.threads_per_rank =
-        std::atoi(Lookup(kv, "threads", "1").c_str());
-    request.config.apriori.max_k =
-        std::atoi(Lookup(kv, "max-k", "0").c_str());
-    request.generate_rules = Lookup(kv, "rules", "false") == "true";
-    request.min_confidence =
-        std::atof(Lookup(kv, "minconf", "50").c_str()) / 100.0;
-    request.deadline_ms = std::atof(Lookup(kv, "deadline-ms", "0").c_str());
-
-    PendingRequest p;
-    p.id = Lookup(kv, "id", "req" + std::to_string(pending.size()));
-    p.tenant = request.tenant;
-    p.dataset = request.dataset;
-    request.cancel = pam::CancelToken::Create();
-    tokens[p.id] = request.cancel;
-    p.future = server.Submit(std::move(request));
-    pending.push_back(std::move(p));
-  }
-
-  int failures = bad_lines;
-  for (PendingRequest& p : pending) {
-    pam::serve::ServeResponse response = p.future.get();
-    if (!quiet) {
-      if (response.ok()) {
-        std::printf(
-            "response id=%s tenant=%s dataset=%s status=ok itemsets=%zu "
-            "rules=%zu queue_ms=%.2f service_ms=%.2f\n",
-            p.id.c_str(), p.tenant.c_str(), p.dataset.c_str(),
-            response.report.frequent.TotalCount(),
-            response.report.rules.size(), response.queue_seconds * 1e3,
-            response.service_seconds * 1e3);
-      } else {
-        std::printf("response id=%s tenant=%s dataset=%s status=%s "
-                    "error=\"%s\"\n",
-                    p.id.c_str(), p.tenant.c_str(), p.dataset.c_str(),
-                    pam::serve::ServeStatusName(response.status),
-                    response.error.c_str());
+    std::printf("listening on %s:%d\n", net_config.bind_address.c_str(),
+                net.port());
+    std::fflush(stdout);
+    if (flags.Has("port-file")) {
+      std::ofstream port_file(flags.GetString("port-file", ""));
+      port_file << net.port() << "\n";
+      if (!port_file) {
+        std::fprintf(stderr, "error: cannot write --port-file\n");
+        return 1;
       }
     }
-    // Deadline and cancel outcomes are expected typed responses, not tool
-    // failures; only infrastructure faults flip the exit code.
-    if (response.status == pam::serve::ServeStatus::kMiningFault) ++failures;
+    g_net = &net;
+    std::signal(SIGINT, HandleSignal);
+    std::signal(SIGTERM, HandleSignal);
+    const bool remote_shutdown = net.WaitForShutdownRequest();
+    std::printf(remote_shutdown ? "shutdown requested by client\n"
+                                : "interrupted\n");
+    // Drain the mining server first so every accepted request's response
+    // frame is queued, then stop the front-end (it flushes what it can).
+    server.Shutdown();
+    net.Stop();
+    g_net = nullptr;
+  } else {
+    std::ifstream script;
+    if (flags.Has("script")) {
+      script.open(flags.GetString("script", ""));
+      if (!script) {
+        std::fprintf(stderr, "error: cannot open --script %s\n",
+                     flags.GetString("script", "").c_str());
+        return 2;
+      }
+    }
+    std::istream& in = flags.Has("script") ? script : std::cin;
+    failures = RunScriptMode(server, in, quiet);
+    server.Shutdown();
   }
 
-  server.Shutdown();
-  const pam::serve::ServerStats stats = server.Stats();
-  std::printf(
-      "served %llu/%llu requests (%llu ok, %llu faulted, %llu cancelled, "
-      "%llu deadline_exceeded [%llu expired_in_queue], %llu rejected: "
-      "%llu queue_full, %llu quota, %llu budget, %llu unknown_dataset)\n",
-      static_cast<unsigned long long>(stats.admitted),
-      static_cast<unsigned long long>(stats.submitted),
-      static_cast<unsigned long long>(stats.completed),
-      static_cast<unsigned long long>(stats.mining_faults),
-      static_cast<unsigned long long>(stats.cancelled),
-      static_cast<unsigned long long>(stats.deadline_exceeded),
-      static_cast<unsigned long long>(stats.expired_in_queue),
-      static_cast<unsigned long long>(stats.TotalRejected()),
-      static_cast<unsigned long long>(stats.rejected_queue_full),
-      static_cast<unsigned long long>(stats.rejected_tenant_in_flight),
-      static_cast<unsigned long long>(stats.rejected_tenant_budget),
-      static_cast<unsigned long long>(stats.rejected_unknown_dataset));
-  std::printf(
-      "cache: %llu hits, %llu misses, %llu evictions, %zu resident bytes; "
-      "peak queue %zu; %llu watchdog fires; %.3f rank-seconds charged\n",
-      static_cast<unsigned long long>(stats.cache_hits),
-      static_cast<unsigned long long>(stats.cache_misses),
-      static_cast<unsigned long long>(stats.cache_evictions),
-      server.datasets().ResidentBytes(), stats.peak_queue_depth,
-      static_cast<unsigned long long>(stats.watchdog_fired),
-      stats.rank_seconds_charged);
+  std::fputs(pam::serve::FormatStatsSummary(server.Stats()).c_str(),
+             stdout);
 
   if (flags.Has("trace-out")) {
     const std::string out_path = flags.GetString("trace-out", "");
